@@ -1,0 +1,89 @@
+// Command faultsim runs fault-injection campaigns against the protection
+// schemes and prints outcome counts:
+//
+//	faultsim -scheme cppc -spatial 8x8 -trials 100
+//	faultsim -scheme parity-1d -temporal 1
+//	faultsim -matrix -scheme cppc -pairs 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cppc/internal/cache"
+	"cppc/internal/core"
+	"cppc/internal/fault"
+	"cppc/internal/protect"
+)
+
+func main() {
+	var (
+		scheme     = flag.String("scheme", "cppc", "parity-1d, cppc, secded, parity-2d")
+		pairs      = flag.Int("pairs", 1, "CPPC register pairs (1,2,4,8)")
+		degree     = flag.Int("degree", 8, "parity degree")
+		shifting   = flag.Bool("shifting", true, "CPPC byte shifting")
+		spatial    = flag.String("spatial", "", "spatial fault shape HxW, e.g. 8x8")
+		temporal   = flag.Int("temporal", 0, "temporal fault bits per trial")
+		matrix     = flag.Bool("matrix", false, "full 1x1..8x8 coverage matrix")
+		interleave = flag.Bool("interleaved", false, "use the 8-way bit-interleaved physical layout (SECDED's)")
+		mc         = flag.Bool("montecarlo", false, "accelerated-rate lifetime campaign")
+		lambda     = flag.Float64("lambda", 2e-7, "Monte-Carlo fault rate per bit per access")
+		trials     = flag.Int("trials", 50, "trials per shape")
+		seed       = flag.Int64("seed", 1, "rng seed")
+	)
+	flag.Parse()
+
+	var mk fault.SchemeFactory
+	switch *scheme {
+	case "parity-1d":
+		mk = func(c *cache.Cache) protect.Scheme { return protect.NewParity1D(c, *degree) }
+	case "cppc":
+		cfg := core.Config{ParityDegree: *degree, RegisterPairs: *pairs, ByteShifting: *shifting}
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mk = func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, cfg) }
+	case "secded":
+		mk = func(c *cache.Cache) protect.Scheme { return protect.NewSECDED(c, true) }
+	case "parity-2d":
+		mk = func(c *cache.Cache) protect.Scheme { return protect.NewTwoDim(c, *degree) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(1)
+	}
+
+	switch {
+	case *mc:
+		res := fault.MonteCarloMTTF(mk, *lambda, *trials, 300_000, *seed)
+		fmt.Printf("%s: lambda=%.1e, %d trials: mean life %.0f accesses, DUE=%d SDC=%d censored=%d, lethality=%.3f\n",
+			*scheme, *lambda, res.Trials, res.MeanAccessesToFailure,
+			res.DUEs, res.SDCs, res.Censored, res.MeasuredLethality())
+	case *matrix:
+		fmt.Printf("%s: spatial coverage (correction rate per HxW square, %d trials each)\n",
+			*scheme, *trials)
+		if *interleave {
+			fmt.Print(fault.FormatMatrix(fault.CoverageMatrixInterleaved(mk, 8, *trials, *seed)))
+		} else {
+			fmt.Print(fault.FormatMatrix(fault.CoverageMatrix(mk, 8, *trials, *seed)))
+		}
+	case *spatial != "":
+		var h, w int
+		if _, err := fmt.Sscanf(strings.ToLower(*spatial), "%dx%d", &h, &w); err != nil || h < 1 || w < 1 {
+			fmt.Fprintf(os.Stderr, "bad -spatial %q (want HxW)\n", *spatial)
+			os.Exit(1)
+		}
+		got := fault.RunSpatialTrials(mk, h, w, *trials, *seed)
+		fmt.Printf("%s: %dx%d spatial faults, %d trials: %s (coverage %.1f%%)\n",
+			*scheme, h, w, *trials, got, got.CoverageRate()*100)
+	case *temporal > 0:
+		got := fault.RunTemporalTrials(mk, *temporal, *trials, *seed)
+		fmt.Printf("%s: %d-bit temporal faults, %d trials: %s (coverage %.1f%%)\n",
+			*scheme, *temporal, *trials, got, got.CoverageRate()*100)
+	default:
+		fmt.Fprintln(os.Stderr, "choose one of -spatial, -temporal or -matrix")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section plus the quantitative claims of Secs. 4.6-4.8:
+//
+//	repro                  # everything, default budget
+//	repro -quick           # smaller instruction budget
+//	repro -table1 -fig10   # selected experiments only
+//
+// Output is textual tables; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cppc/internal/experiments"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use the reduced instruction budget")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		trials   = flag.Int("trials", 20, "Monte-Carlo trials per fault shape")
+		table1   = flag.Bool("table1", false, "print Table 1 (configuration)")
+		fig10    = flag.Bool("fig10", false, "reproduce Figure 10 (CPI)")
+		fig11    = flag.Bool("fig11", false, "reproduce Figure 11 (L1 energy)")
+		fig12    = flag.Bool("fig12", false, "reproduce Figure 12 (L2 energy)")
+		table2   = flag.Bool("table2", false, "reproduce Table 2 (dirty data)")
+		table3   = flag.Bool("table3", false, "reproduce Table 3 (MTTF)")
+		sec47    = flag.Bool("sec47", false, "reproduce Sec. 4.7 (aliasing MTTF)")
+		sec48    = flag.Bool("sec48", false, "reproduce Sec. 4.8 (barrel shifter)")
+		sec7     = flag.Bool("sec7", false, "Sec. 7 multiprocessor extension (coherence vs. RBW)")
+		sec51    = flag.Bool("sec51", false, "Sec. 5.1 area comparison")
+		mc       = flag.Bool("montecarlo", false, "PARMA-style Monte-Carlo validation of the MTTF models")
+		l3       = flag.Bool("l3", false, "Sec. 7 L3 CPPC study")
+		csv      = flag.Bool("csv", false, "emit the figures as CSV instead of text tables")
+		coverage = flag.Bool("coverage", false, "spatial coverage matrices (Secs. 4.6/4.11)")
+		ablate   = flag.Bool("ablate", false, "register-pair and parity-degree ablations")
+	)
+	flag.Parse()
+
+	all := !(*table1 || *fig10 || *fig11 || *fig12 || *table2 || *table3 ||
+		*sec47 || *sec48 || *sec7 || *sec51 || *mc || *l3 || *coverage || *ablate)
+
+	budget := experiments.DefaultBudget()
+	if *quick {
+		budget = experiments.QuickBudget()
+	}
+	budget.Seed = *seed
+
+	if all || *table1 {
+		fmt.Println(experiments.Table1())
+	}
+
+	needSuite := all || *fig10 || *fig11 || *fig12 || *table2 || *table3
+	var suite *experiments.Suite
+	if needSuite {
+		fmt.Fprintf(os.Stderr, "simulating %d benchmarks x 4 schemes (%d+%d instructions each)...\n",
+			15, budget.Warmup, budget.Measure)
+		suite = experiments.RunSuite(budget)
+	}
+	if all || *fig10 {
+		if *csv {
+			fmt.Println(suite.Figure10CSV())
+		} else {
+			fmt.Println(suite.Figure10())
+		}
+	}
+	if all || *fig11 {
+		if *csv {
+			fmt.Println(suite.Figure11CSV())
+		} else {
+			fmt.Println(suite.Figure11())
+		}
+	}
+	if all || *fig12 {
+		if *csv {
+			fmt.Println(suite.Figure12CSV())
+		} else {
+			fmt.Println(suite.Figure12())
+		}
+	}
+	if all || *table2 {
+		fmt.Println(suite.Table2String())
+	}
+	if all || *table3 {
+		fmt.Println(suite.Table3())
+	}
+	if all || *sec47 {
+		fmt.Println(experiments.Section47())
+	}
+	if all || *sec48 {
+		fmt.Println(experiments.Section48())
+	}
+	if all || *sec7 {
+		fmt.Println(experiments.Section7Multicore(200_000, *seed))
+	}
+	if all || *sec51 {
+		fmt.Println(experiments.Section51Area(1))
+	}
+	if all || *mc {
+		fmt.Fprintln(os.Stderr, "running Monte-Carlo lifetime campaigns...")
+		fmt.Println(experiments.MonteCarloValidation(*trials, *seed))
+	}
+	if all || *l3 {
+		fmt.Fprintln(os.Stderr, "running the L3 study...")
+		fmt.Println(experiments.SectionL3(budget))
+	}
+	if all || *coverage {
+		fmt.Fprintf(os.Stderr, "running spatial coverage campaigns (%d trials/shape)...\n", *trials)
+		fmt.Println(experiments.SpatialCoverage(*trials, *seed))
+	}
+	if all || *ablate {
+		fmt.Println(experiments.PairAblation(*trials, *seed))
+		fmt.Println(experiments.ParityAblation(*trials, *seed))
+		fmt.Println(experiments.SinglePortAblation(budget))
+		fmt.Println(experiments.EarlyWritebackAblation(200_000, *seed))
+		fmt.Println(experiments.ICacheAblation(budget))
+	}
+}

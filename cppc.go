@@ -1,0 +1,184 @@
+// Package cppc is a library-level reproduction of "CPPC: Correctable
+// Parity Protected Cache" (Manoochehri, Annavaram, Dubois — ISCA 2011).
+//
+// CPPC adds error *correction* to a parity-protected write-back cache by
+// attaching one or more pairs of XOR registers: R1 accumulates every word
+// written into the cache, R2 every dirty word removed from it, so R1^R2
+// always equals the XOR of all dirty data. Parity detects a fault; the
+// registers and the other dirty words reconstruct the lost value. Byte
+// shifting and interleaved parity extend correction to spatial multi-bit
+// errors inside an 8x8 square.
+//
+// The package exposes the full evaluation stack of the paper:
+//
+//   - a write-back set-associative cache model with real contents
+//     (NewCache, NewMemory);
+//   - the CPPC engine and the three comparison schemes — one-dimensional
+//     parity, SECDED, two-dimensional parity — behind one Scheme
+//     interface (NewCPPC, NewParity1D, NewSECDED, NewTwoDim);
+//   - a Controller that drives a protected cache level and stacks into
+//     hierarchies;
+//   - fault injection (temporal and spatial) with golden-comparison
+//     outcome classification;
+//   - the out-of-order timing model, CACTI-like energy model, analytical
+//     MTTF models and synthetic SPEC2000-like workloads behind the
+//     experiment harness that regenerates every table and figure of the
+//     paper (see cmd/repro).
+//
+// Quick start: examples/quickstart builds an L1 CPPC, injects a fault in
+// dirty data, and watches the recovery algorithm restore it.
+package cppc
+
+import (
+	"cppc/internal/cache"
+	"cppc/internal/coherence"
+	"cppc/internal/core"
+	"cppc/internal/protect"
+	"cppc/internal/reliability"
+)
+
+// Re-exported configuration and engine types. These are aliases, so
+// values flow freely between the facade and the internal packages.
+type (
+	// CacheConfig describes one cache level (size, ways, block size,
+	// dirty granularity, latency).
+	CacheConfig = cache.Config
+	// Cache is the tag+data array model.
+	Cache = cache.Cache
+	// Memory is the golden backing store.
+	Memory = cache.Memory
+	// Backing is anything a cache level can fetch from and write back to.
+	Backing = cache.Backing
+	// Stats counts cache and protection events.
+	Stats = cache.Stats
+	// Line is one cache block with its data, check bits and dirty state.
+	Line = cache.Line
+
+	// EngineConfig selects a CPPC design point: parity degree, register
+	// pairs, byte shifting.
+	EngineConfig = core.Config
+	// Engine is the CPPC protection engine (registers, recovery, fault
+	// locator).
+	Engine = core.Engine
+	// RecoveryReport describes one recovery run.
+	RecoveryReport = core.Report
+
+	// Scheme is a cache-protection policy.
+	Scheme = protect.Scheme
+	// Controller drives one protected cache level.
+	Controller = protect.Controller
+	// FaultStatus classifies what a load encountered.
+	FaultStatus = protect.FaultStatus
+	// AccessResult reports one load or store.
+	AccessResult = protect.AccessResult
+)
+
+// Fault statuses.
+const (
+	FaultNone           = protect.FaultNone
+	FaultCorrectedClean = protect.FaultCorrectedClean
+	FaultCorrectedDirty = protect.FaultCorrectedDirty
+	FaultDUE            = protect.FaultDUE
+)
+
+// Recovery outcomes.
+const (
+	OutcomeCorrected = core.OutcomeCorrected
+	OutcomeDUE       = core.OutcomeDUE
+)
+
+// Standard cache configurations from the paper's Table 1.
+func L1DConfig() CacheConfig { return cache.L1DConfig() }
+func L2Config() CacheConfig  { return cache.L2Config() }
+
+// Standard CPPC design points.
+func DefaultL1Engine() EngineConfig      { return core.DefaultL1Config() }
+func DefaultL2Engine() EngineConfig      { return core.DefaultL2Config() }
+func FullCorrectionEngine() EngineConfig { return core.FullCorrectionConfig() }
+
+// NewCache builds an empty cache from a validated config.
+func NewCache(cfg CacheConfig) *Cache { return cache.New(cfg) }
+
+// NewMemory builds a golden backing memory serving blocks of the given
+// size with the given fetch latency in cycles.
+func NewMemory(blockBytes, latencyCycles int) *Memory {
+	return cache.NewMemory(blockBytes, latencyCycles)
+}
+
+// NewCPPC attaches a CPPC engine to a cache and returns it as a Scheme.
+func NewCPPC(c *Cache, cfg EngineConfig) (Scheme, error) { return protect.NewCPPC(c, cfg) }
+
+// NewParity1D attaches detection-only interleaved parity.
+func NewParity1D(c *Cache, degree int) Scheme { return protect.NewParity1D(c, degree) }
+
+// NewSECDED attaches an extended-Hamming SECDED code sized to the cache's
+// dirty granule; interleaved selects 8-way physical bit interleaving.
+func NewSECDED(c *Cache, interleaved bool) Scheme { return protect.NewSECDED(c, interleaved) }
+
+// NewTwoDim attaches two-dimensional parity (horizontal interleaved
+// parity plus one vertical parity row).
+func NewTwoDim(c *Cache, degree int) Scheme { return protect.NewTwoDim(c, degree) }
+
+// NewController wires a cache, a scheme and the next level together.
+func NewController(c *Cache, s Scheme, next Backing) *Controller {
+	return protect.NewController(c, s, next)
+}
+
+// EngineOf returns the CPPC engine behind a Scheme created by NewCPPC,
+// for register inspection, invariant checks and direct recovery calls; ok
+// is false for non-CPPC schemes.
+func EngineOf(s Scheme) (*Engine, bool) {
+	cs, ok := s.(*protect.CPPCScheme)
+	if !ok {
+		return nil, false
+	}
+	return cs.Engine, true
+}
+
+// Multiprocessor types (the Sec. 7 extension): N private L1 caches under
+// write-invalidate MSI coherence over a shared L2.
+type (
+	// Multiprocessor is the coherent multi-core system.
+	Multiprocessor = coherence.Multiprocessor
+	// CoherenceStats counts protocol events.
+	CoherenceStats = coherence.Stats
+)
+
+// NewMultiprocessor builds an n-core coherent system; mkL1/mkL2 build each
+// level's protection scheme.
+func NewMultiprocessor(n int, l1cfg, l2cfg CacheConfig,
+	mkL1, mkL2 func(*Cache) Scheme, memLatency int) *Multiprocessor {
+	return coherence.New(n, l1cfg, l2cfg, mkL1, mkL2, memLatency)
+}
+
+// TagEngine is the Sec. 7 tag-array extension: XOR registers over the tag
+// array, with no read-before-write (tags are read-only until replaced).
+type TagEngine = core.TagEngine
+
+// NewTagEngine attaches tag protection to a cache.
+func NewTagEngine(c *Cache, cfg EngineConfig) (*TagEngine, error) {
+	return core.NewTagEngine(c, cfg)
+}
+
+// ReliabilityParams feeds the analytical MTTF models of Sec. 6.3.
+type ReliabilityParams = reliability.Params
+
+// Reliability model entry points (Table 3 and Sec. 4.7).
+var (
+	// Parity1DMTTFYears: detection-only parity fails on the first dirty
+	// fault.
+	Parity1DMTTFYears = reliability.Parity1DMTTFYears
+	// DoubleFaultMTTFYears: CPPC/SECDED double-fault-in-interval model.
+	DoubleFaultMTTFYears = reliability.DoubleFaultMTTFYears
+	// AliasingMTTFYears: the Sec. 4.7 temporal-aliasing SDC hazard.
+	AliasingMTTFYears = reliability.AliasingMTTFYears
+	// CPPCDomains: protection domains for a CPPC design point.
+	CPPCDomains = reliability.CPPCDomains
+	// SECDEDDomains: protection domains for per-granule SECDED.
+	SECDEDDomains = reliability.SECDEDDomains
+	// AliasBitsForPairs: aliasing-vulnerable positions per pair count.
+	AliasBitsForPairs = reliability.AliasBitsForPairs
+	// PaperL1Params and PaperL2Params: Table 2's published inputs.
+	PaperL1Params = reliability.PaperL1Params
+	PaperL2Params = reliability.PaperL2Params
+)

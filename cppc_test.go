@@ -1,0 +1,184 @@
+package cppc
+
+import "testing"
+
+// TestFacadeEndToEnd drives the public API exactly as the README's
+// quickstart does: build an L1 CPPC, store, corrupt, load, recover.
+func TestFacadeEndToEnd(t *testing.T) {
+	mem := NewMemory(32, 200)
+	c := NewCache(L1DConfig())
+	scheme, err := NewCPPC(c, DefaultL1Engine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewController(c, scheme, mem)
+
+	ctrl.Store(0x1000, 0xdeadbeef, 1)
+	set, way := c.Probe(0x1000)
+	c.FlipBits(set, way, 0, 1<<17)
+
+	res := ctrl.Load(0x1000, 2)
+	if res.Fault != FaultCorrectedDirty {
+		t.Fatalf("fault status = %v", res.Fault)
+	}
+	if res.Value != 0xdeadbeef {
+		t.Fatalf("value = %#x", res.Value)
+	}
+
+	eng, ok := EngineOf(scheme)
+	if !ok {
+		t.Fatal("EngineOf failed on a CPPC scheme")
+	}
+	if err := eng.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Events.CorrectedSingle != 1 {
+		t.Fatalf("events = %+v", eng.Events)
+	}
+}
+
+func TestFacadeOtherSchemes(t *testing.T) {
+	for _, mk := range []func(*Cache) Scheme{
+		func(c *Cache) Scheme { return NewParity1D(c, 8) },
+		func(c *Cache) Scheme { return NewSECDED(c, true) },
+		func(c *Cache) Scheme { return NewTwoDim(c, 8) },
+	} {
+		mem := NewMemory(32, 200)
+		c := NewCache(L1DConfig())
+		s := mk(c)
+		if _, ok := EngineOf(s); ok {
+			t.Errorf("%s: EngineOf should fail", s.Name())
+		}
+		ctrl := NewController(c, s, mem)
+		ctrl.Store(0x40, 7, 1)
+		if res := ctrl.Load(0x40, 2); res.Value != 7 || res.Fault != FaultNone {
+			t.Errorf("%s: round trip failed: %+v", s.Name(), res)
+		}
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	if L1DConfig().SizeBytes != 32<<10 || L2Config().SizeBytes != 1<<20 {
+		t.Error("Table 1 configs wrong")
+	}
+	if !DefaultL1Engine().ByteShifting {
+		t.Error("default L1 engine should byte-shift")
+	}
+	if FullCorrectionEngine().RegisterPairs != 8 {
+		t.Error("full-correction engine should have 8 pairs")
+	}
+	if err := NewCache(L2Config()).Cfg.Validate; err == nil {
+		_ = err
+	}
+	if _, err := NewCPPC(NewCache(L1DConfig()), EngineConfig{ParityDegree: 3}); err == nil {
+		t.Error("invalid engine config accepted")
+	}
+}
+
+func TestFacadeMultiprocessor(t *testing.T) {
+	l1cfg, err := CacheConfig{
+		Name: "fmpL1", SizeBytes: 4096, Ways: 2, BlockBytes: 32,
+		DirtyGranuleWords: 1, HitLatencyCycles: 2,
+	}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2cfg, err := CacheConfig{
+		Name: "fmpL2", SizeBytes: 64 << 10, Ways: 4, BlockBytes: 32,
+		DirtyGranuleWords: 4, HitLatencyCycles: 8,
+	}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(cfg EngineConfig) func(*Cache) Scheme {
+		return func(c *Cache) Scheme {
+			s, err := NewCPPC(c, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	m := NewMultiprocessor(2, l1cfg, l2cfg, mk(DefaultL1Engine()), mk(DefaultL2Engine()), 100)
+	m.Write(0, 0x100, 7, 1)
+	if res := m.Read(1, 0x100, 2); res.Value != 7 {
+		t.Fatalf("cross-core read = %#x", res.Value)
+	}
+	if err := m.CheckCoherent(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.TotalL1Stats()
+	if st.Accesses() == 0 {
+		t.Fatal("no L1 accesses recorded")
+	}
+}
+
+func TestFacadeTagEngine(t *testing.T) {
+	c := NewCache(L1DConfig())
+	eng, err := NewTagEngine(c, DefaultL1Engine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install two blocks through the tag hooks.
+	mem := NewMemory(32, 100)
+	for _, addr := range []uint64{0x40, 0x80} {
+		set, _ := c.Probe(addr)
+		way := c.Victim(set)
+		ln := c.Line(set, way)
+		oldValid, oldTag := ln.Valid, ln.Tag
+		buf := make([]uint64, 4)
+		mem.FetchBlock(addr, buf, 0)
+		c.Install(set, way, addr, buf)
+		eng.OnInstall(set, way, oldValid, oldTag, c.Line(set, way).Tag)
+	}
+	set, way := c.Probe(0x40)
+	want := c.Line(set, way).Tag
+	eng.FlipTagBits(set, way, 1<<4)
+	if rep := eng.RecoverTag(set, way); rep.Outcome != OutcomeCorrected {
+		t.Fatalf("tag recovery: %+v", rep)
+	}
+	if c.Line(set, way).Tag != want {
+		t.Fatal("tag not restored")
+	}
+	if _, err := NewTagEngine(c, EngineConfig{ParityDegree: 7}); err == nil {
+		t.Fatal("invalid tag engine config accepted")
+	}
+}
+
+func TestFacadeStoreSub(t *testing.T) {
+	mem := NewMemory(32, 100)
+	c := NewCache(L1DConfig())
+	s, _ := NewCPPC(c, DefaultL1Engine())
+	ctrl := NewController(c, s, mem)
+	ctrl.Store(0x40, 0, 1)
+	ctrl.StoreSub(0x42, 0xAB, 1, 2)
+	if got := ctrl.Load(0x40, 3).Value; got != 0xAB0000 {
+		t.Fatalf("byte store merged to %#x", got)
+	}
+	eng, _ := EngineOf(s)
+	if err := eng.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeWriteThroughAndScrub(t *testing.T) {
+	mem := NewMemory(32, 100)
+	c := NewCache(L1DConfig())
+	ctrl := NewController(c, NewParity1D(c, 8), mem)
+	ctrl.SetWriteThrough(true)
+	ctrl.Store(0x40, 9, 1)
+	if c.DirtyGranuleCount() != 0 {
+		t.Fatal("write-through left dirty data")
+	}
+	ctrl.SetScrubbing(1, 8)
+	for i := 0; i < 10; i++ {
+		ctrl.Load(0x80, uint64(2+i)) // each access lets the scrubber sweep 8 granules
+	}
+	if ctrl.ScrubsPerformed == 0 {
+		t.Fatal("scrubber idle")
+	}
+	ctrl.SetEarlyWriteback(1, 4)
+	ctrl.Store(0x100, 1, 3)
+	ctrl.Load(0x140, 4)
+	_ = ctrl.EarlyWriteBacks // write-through keeps everything clean; just exercise the path
+}

@@ -1,0 +1,3 @@
+module cppc
+
+go 1.22

@@ -1,0 +1,127 @@
+// Package bitops provides the 64-bit word-level primitives that the CPPC
+// protection machinery is built from: byte rotation (the dataflow of the
+// paper's barrel shifter), interleaved-parity stripe arithmetic, and a few
+// mask/popcount helpers shared by the parity codes and the fault locator.
+//
+// All operations are pure functions on uint64 values; the packages above
+// this one decide when to apply them (e.g. data is rotated only on its way
+// into the R1/R2 registers, never in the cache array itself — Sec. 4.1 of
+// the paper).
+package bitops
+
+import "math/bits"
+
+// WordBits is the machine word size the paper assumes throughout.
+const WordBits = 64
+
+// WordBytes is the number of bytes in a word.
+const WordBytes = WordBits / 8
+
+// RotlBytes rotates w left by n bytes (n is taken modulo 8). This is the
+// operation performed by the CPPC barrel shifter before a word is XORed
+// into a register pair: rotation class c rotates by c bytes.
+func RotlBytes(w uint64, n int) uint64 {
+	n = ((n % WordBytes) + WordBytes) % WordBytes
+	return bits.RotateLeft64(w, n*8)
+}
+
+// RotrBytes rotates w right by n bytes; the inverse of RotlBytes, used in
+// recovery step 2 ("rotate the result of step 1 in reverse").
+func RotrBytes(w uint64, n int) uint64 {
+	return RotlBytes(w, -n)
+}
+
+// Byte extracts byte i (0 = least significant) of w.
+func Byte(w uint64, i int) byte {
+	return byte(w >> (uint(i&7) * 8))
+}
+
+// SetByte returns w with byte i replaced by b.
+func SetByte(w uint64, i int, b byte) uint64 {
+	sh := uint(i&7) * 8
+	return (w &^ (uint64(0xff) << sh)) | uint64(b)<<sh
+}
+
+// StripeMask returns the mask of the bits covered by interleaved parity bit
+// p out of degree total bits of parity per 64-bit word. With degree=8,
+// parity bit p covers bits p, p+8, ..., p+56 (Sec. 3.6).
+func StripeMask(p, degree int) uint64 {
+	if degree <= 0 || degree > WordBits || WordBits%degree != 0 {
+		panic("bitops: invalid interleaved parity degree")
+	}
+	var m uint64
+	for i := p % degree; i < WordBits; i += degree {
+		m |= 1 << uint(i)
+	}
+	return m
+}
+
+// StripeParity computes interleaved parity bit p of w for the given degree:
+// the XOR of all bits of w whose index is congruent to p modulo degree.
+func StripeParity(w uint64, p, degree int) uint64 {
+	return uint64(bits.OnesCount64(w&StripeMask(p, degree)) & 1)
+}
+
+// Parity computes all degree interleaved parity bits of w at once, packed
+// into the low bits of the result (bit p of the result is parity stripe p).
+func Parity(w uint64, degree int) uint64 {
+	var out uint64
+	for p := 0; p < degree; p++ {
+		out |= StripeParity(w, p, degree) << uint(p)
+	}
+	return out
+}
+
+// Syndrome returns, for a word whose stored parity was stored and whose
+// recomputed parity is current, the set of parity stripes that disagree,
+// packed like Parity's result. A nonzero syndrome means detection.
+func Syndrome(stored, current uint64) uint64 { return stored ^ current }
+
+// FaultyStripes expands a parity syndrome into the list of stripe indices
+// that flagged an error, in ascending order.
+func FaultyStripes(syndrome uint64, degree int) []int {
+	var out []int
+	for p := 0; p < degree; p++ {
+		if syndrome&(1<<uint(p)) != 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OnesPositions returns the indices of the set bits of w in ascending order.
+func OnesPositions(w uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(w))
+	for w != 0 {
+		i := bits.TrailingZeros64(w)
+		out = append(out, i)
+		w &^= 1 << uint(i)
+	}
+	return out
+}
+
+// ByteMask returns the mask covering byte i of a word.
+func ByteMask(i int) uint64 { return uint64(0xff) << (uint(i&7) * 8) }
+
+// NonzeroBytes returns the indices of the bytes of w that contain at least
+// one set bit (the "R3 faulty bytes" of locator step 1, Sec. 4.5).
+func NonzeroBytes(w uint64) []int {
+	var out []int
+	for i := 0; i < WordBytes; i++ {
+		if w&ByteMask(i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PopCount counts the set bits of w.
+func PopCount(w uint64) int { return bits.OnesCount64(w) }
+
+// BitsInByteColumn returns the mask of bits of a word that live in byte
+// column col after the word has been rotated left by class bytes; i.e. the
+// pre-rotation byte whose contents land in register byte col.
+func BitsInByteColumn(col, class int) uint64 {
+	src := ((col-class)%WordBytes + WordBytes) % WordBytes
+	return ByteMask(src)
+}

@@ -1,0 +1,282 @@
+package cache
+
+import (
+	"fmt"
+
+	"cppc/internal/geometry"
+)
+
+// Line is one cache block: tag/state plus real data contents. Check bits
+// are stored per word and are opaque to the cache — the protection scheme
+// owns their encoding.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Data  []uint64 // BlockWords() words of real contents
+	Check []uint64 // per-word check bits (scheme-defined; may be unused)
+	Dirty []bool   // per dirty granule (Granules() entries)
+
+	// lastDirtyAccess[g] is the cycle of the previous access to dirty
+	// granule g, for the Table 2 Tavg measurement.
+	lastDirtyAccess []uint64
+
+	lru uint64 // higher = more recently used
+}
+
+// DirtyAny reports whether any granule of the line is dirty.
+func (ln *Line) DirtyAny() bool {
+	for _, d := range ln.Dirty {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// Cache is the tag+data array. All policy (miss handling, protection,
+// write-back ordering) is driven from outside via the primitives below.
+type Cache struct {
+	Cfg    Config
+	Geom   geometry.Layout
+	sets   [][]Line
+	lruClk uint64
+
+	// Tavg / dirty-occupancy accounting (Table 2).
+	dirtyGranules   int     // currently dirty granules
+	dirtySamples    uint64  // number of occupancy samples
+	dirtyAccum      float64 // sum of dirty fractions over samples
+	tavgSum         uint64  // sum of intervals between accesses to dirty granules
+	tavgCount       uint64  // number of such intervals
+	totalGranules   int
+	granuleSizeBits int
+}
+
+// New builds an empty cache from a validated config.
+func New(cfg Config) *Cache {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		Cfg:             cfg,
+		Geom:            cfg.Layout(),
+		sets:            make([][]Line, cfg.Sets()),
+		totalGranules:   cfg.Sets() * cfg.Ways * cfg.Granules(),
+		granuleSizeBits: cfg.DirtyGranuleWords * 64,
+	}
+	for s := range c.sets {
+		c.sets[s] = make([]Line, cfg.Ways)
+		for w := range c.sets[s] {
+			c.sets[s][w] = Line{
+				Data:            make([]uint64, cfg.BlockWords()),
+				Check:           make([]uint64, cfg.BlockWords()),
+				Dirty:           make([]bool, cfg.Granules()),
+				lastDirtyAccess: make([]uint64, cfg.Granules()),
+			}
+		}
+	}
+	return c
+}
+
+// Decompose splits a byte address into block tag, set index and word index
+// within the block.
+func (c *Cache) Decompose(addr uint64) (tag uint64, set, word int) {
+	block := addr / uint64(c.Cfg.BlockBytes)
+	set = int(block % uint64(c.Cfg.Sets()))
+	tag = block / uint64(c.Cfg.Sets())
+	word = int(addr%uint64(c.Cfg.BlockBytes)) / 8
+	return tag, set, word
+}
+
+// BlockAddr reconstructs the byte address of the first word of a resident
+// line.
+func (c *Cache) BlockAddr(set, way int) uint64 {
+	ln := c.Line(set, way)
+	return (ln.Tag*uint64(c.Cfg.Sets()) + uint64(set)) * uint64(c.Cfg.BlockBytes)
+}
+
+// Probe looks up addr without changing any state. way is -1 on a miss.
+func (c *Cache) Probe(addr uint64) (set, way int) {
+	tag, s, _ := c.Decompose(addr)
+	for w := range c.sets[s] {
+		if ln := &c.sets[s][w]; ln.Valid && ln.Tag == tag {
+			return s, w
+		}
+	}
+	return s, -1
+}
+
+// Line returns the line at (set, way). The pointer stays valid for the
+// lifetime of the cache.
+func (c *Cache) Line(set, way int) *Line { return &c.sets[set][way] }
+
+// Touch marks (set, way) most recently used.
+func (c *Cache) Touch(set, way int) {
+	c.lruClk++
+	c.sets[set][way].lru = c.lruClk
+}
+
+// Victim picks the replacement way in a set: an invalid way if one exists,
+// else true-LRU.
+func (c *Cache) Victim(set int) int {
+	best, bestLRU := 0, ^uint64(0)
+	for w := range c.sets[set] {
+		ln := &c.sets[set][w]
+		if !ln.Valid {
+			return w
+		}
+		if ln.lru < bestLRU {
+			best, bestLRU = w, ln.lru
+		}
+	}
+	return best
+}
+
+// Install replaces the line at (set, way) with a clean block for addr,
+// copying data. Eviction of the previous occupant is the caller's job.
+func (c *Cache) Install(set, way int, addr uint64, data []uint64) {
+	tag, s, _ := c.Decompose(addr)
+	if s != set {
+		panic(fmt.Sprintf("cache %s: installing addr %#x into wrong set %d (want %d)", c.Cfg.Name, addr, set, s))
+	}
+	ln := &c.sets[set][way]
+	if ln.Valid {
+		c.noteDirtyDelta(ln, -1)
+	}
+	ln.Tag = tag
+	ln.Valid = true
+	copy(ln.Data, data)
+	for g := range ln.Dirty {
+		ln.Dirty[g] = false
+		ln.lastDirtyAccess[g] = 0
+	}
+	c.Touch(set, way)
+}
+
+// Invalidate drops the line; dirty contents are discarded (the caller must
+// have written them back first if needed).
+func (c *Cache) Invalidate(set, way int) {
+	ln := &c.sets[set][way]
+	if ln.Valid {
+		c.noteDirtyDelta(ln, -1)
+	}
+	ln.Valid = false
+}
+
+// noteDirtyDelta updates the dirty-granule population when a whole line
+// enters/leaves (sign -1 removes the line's dirty granules).
+func (c *Cache) noteDirtyDelta(ln *Line, sign int) {
+	for _, d := range ln.Dirty {
+		if d {
+			c.dirtyGranules += sign
+		}
+	}
+}
+
+// MarkDirty sets the dirty bit of the granule containing word `word`,
+// maintaining the dirty population. now is the current cycle, used for
+// Tavg accounting.
+func (c *Cache) MarkDirty(set, way, word int, now uint64) {
+	ln := &c.sets[set][way]
+	g := word / c.Cfg.DirtyGranuleWords
+	if !ln.Dirty[g] {
+		ln.Dirty[g] = true
+		c.dirtyGranules++
+	}
+	ln.lastDirtyAccess[g] = now
+}
+
+// MarkClean clears the dirty bit of granule g of the line.
+func (c *Cache) MarkClean(set, way, g int) {
+	ln := &c.sets[set][way]
+	if ln.Dirty[g] {
+		ln.Dirty[g] = false
+		c.dirtyGranules--
+	}
+}
+
+// TouchDirty records an access at cycle `now` to the granule containing
+// `word` for Tavg measurement: if the granule is dirty and was accessed
+// before, the interval is accumulated.
+func (c *Cache) TouchDirty(set, way, word int, now uint64) {
+	ln := &c.sets[set][way]
+	g := word / c.Cfg.DirtyGranuleWords
+	if !ln.Dirty[g] {
+		return
+	}
+	if last := ln.lastDirtyAccess[g]; last != 0 && now > last {
+		c.tavgSum += now - last
+		c.tavgCount++
+	}
+	ln.lastDirtyAccess[g] = now
+}
+
+// SampleDirtyOccupancy records one sample of the dirty fraction (Table 2's
+// "percentage of dirty data during program execution").
+func (c *Cache) SampleDirtyOccupancy() {
+	c.dirtySamples++
+	c.dirtyAccum += float64(c.dirtyGranules) / float64(c.totalGranules)
+}
+
+// DirtyFraction returns the average sampled dirty fraction, or the current
+// instantaneous fraction if no samples were taken.
+func (c *Cache) DirtyFraction() float64 {
+	if c.dirtySamples == 0 {
+		return float64(c.dirtyGranules) / float64(c.totalGranules)
+	}
+	return c.dirtyAccum / float64(c.dirtySamples)
+}
+
+// DirtyGranuleCount returns the number of currently dirty granules.
+func (c *Cache) DirtyGranuleCount() int { return c.dirtyGranules }
+
+// Tavg returns the measured average interval (in cycles) between
+// consecutive accesses to a dirty granule; 0 if never measured.
+func (c *Cache) Tavg() float64 {
+	if c.tavgCount == 0 {
+		return 0
+	}
+	return float64(c.tavgSum) / float64(c.tavgCount)
+}
+
+// ResetSampling clears the dirty-occupancy and Tavg accumulators (used
+// after cache warm-up so measurements cover only the steady state).
+func (c *Cache) ResetSampling() {
+	c.dirtySamples = 0
+	c.dirtyAccum = 0
+	c.tavgSum = 0
+	c.tavgCount = 0
+}
+
+// ForEachValid visits every valid line.
+func (c *Cache) ForEachValid(fn func(set, way int, ln *Line)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if ln := &c.sets[s][w]; ln.Valid {
+				fn(s, w, ln)
+			}
+		}
+	}
+}
+
+// ForEachDirtyGranule visits every dirty granule of every valid line.
+func (c *Cache) ForEachDirtyGranule(fn func(set, way, granule int, ln *Line)) {
+	c.ForEachValid(func(set, way int, ln *Line) {
+		for g, d := range ln.Dirty {
+			if d {
+				fn(set, way, g, ln)
+			}
+		}
+	})
+}
+
+// FlipBits XORs mask into the stored data word at (set, way, word) without
+// touching check bits: a fault injection.
+func (c *Cache) FlipBits(set, way, word int, mask uint64) {
+	c.sets[set][way].Data[word] ^= mask
+}
+
+// FlipCheckBits XORs mask into the stored check bits at (set, way, word).
+func (c *Cache) FlipCheckBits(set, way, word int, mask uint64) {
+	c.sets[set][way].Check[word] ^= mask
+}

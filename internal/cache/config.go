@@ -1,0 +1,145 @@
+// Package cache implements the write-back set-associative cache model that
+// every protection scheme in the paper sits on: tag and data arrays holding
+// real 64-bit contents, per-granule dirty bits, true-LRU replacement, and a
+// golden backing memory. The cache is deliberately mechanical — protection
+// policy (parity checks, XOR registers, read-before-write) lives in
+// internal/protect and internal/core, which drive the primitives exposed
+// here.
+package cache
+
+import (
+	"fmt"
+
+	"cppc/internal/geometry"
+)
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int // total data capacity
+	Ways       int // associativity
+	BlockBytes int // line size
+
+	// DirtyGranuleWords is the dirty-bit granularity in 64-bit words: 1
+	// for an L1 CPPC ("one dirty bit per word", Sec. 3), BlockBytes/8 for
+	// an L2 CPPC ("one dirty bit per unit of L1 cache block size",
+	// Sec. 3.5, with equal L1/L2 block sizes as in Table 1).
+	DirtyGranuleWords int
+
+	// WordsPerRow is the physical row width used for rotation classes and
+	// spatial faults; defaults to one block per row.
+	WordsPerRow int
+
+	// BitInterleaved selects physical bit interleaving within a row (the
+	// SECDED companion technique): spatial bursts spread across words at
+	// the cost of 8x bitline energy (Sec. 6.2).
+	BitInterleaved bool
+
+	// HitLatencyCycles is the access latency on a hit (Table 1: 2 for
+	// L1D, 8 for L2).
+	HitLatencyCycles int
+}
+
+// Derived geometry.
+func (c Config) BlockWords() int { return c.BlockBytes / 8 }
+func (c Config) Sets() int       { return c.SizeBytes / (c.BlockBytes * c.Ways) }
+func (c Config) Granules() int   { return c.BlockWords() / c.DirtyGranuleWords }
+func (c Config) TotalBits() int  { return c.SizeBytes * 8 }
+
+// Validate checks internal consistency and fills defaults; it returns the
+// normalized config.
+func (c Config) Validate() (Config, error) {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return c, fmt.Errorf("cache %q: non-positive dimension", c.Name)
+	}
+	if c.BlockBytes%8 != 0 {
+		return c, fmt.Errorf("cache %q: block size %dB not word-aligned", c.Name, c.BlockBytes)
+	}
+	if c.SizeBytes%(c.BlockBytes*c.Ways) != 0 {
+		return c, fmt.Errorf("cache %q: size %d not divisible into %d-way sets of %dB blocks",
+			c.Name, c.SizeBytes, c.Ways, c.BlockBytes)
+	}
+	sets := c.SizeBytes / (c.BlockBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return c, fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, sets)
+	}
+	if c.DirtyGranuleWords == 0 {
+		c.DirtyGranuleWords = 1
+	}
+	if c.BlockWords()%c.DirtyGranuleWords != 0 {
+		return c, fmt.Errorf("cache %q: dirty granule %d words does not divide block of %d words",
+			c.Name, c.DirtyGranuleWords, c.BlockWords())
+	}
+	if c.WordsPerRow == 0 {
+		c.WordsPerRow = c.BlockWords()
+	}
+	if c.HitLatencyCycles == 0 {
+		c.HitLatencyCycles = 1
+	}
+	if (sets*c.Ways*c.BlockWords())%c.WordsPerRow != 0 {
+		return c, fmt.Errorf("cache %q: wordsPerRow %d does not tile the array", c.Name, c.WordsPerRow)
+	}
+	return c, nil
+}
+
+// Layout returns the physical layout of the data array.
+func (c Config) Layout() geometry.Layout {
+	l := geometry.MustLayout(c.Sets(), c.Ways, c.BlockWords(), c.WordsPerRow)
+	l.BitInterleaved = c.BitInterleaved
+	return l
+}
+
+// L1DConfig is the paper's Table 1 L1 data cache: 32KB, 2-way, 32-byte
+// lines, 2-cycle latency, per-word dirty bits.
+func L1DConfig() Config {
+	c, err := Config{
+		Name: "L1D", SizeBytes: 32 << 10, Ways: 2, BlockBytes: 32,
+		DirtyGranuleWords: 1, HitLatencyCycles: 2,
+	}.Validate()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// L2Config is the paper's Table 1 unified L2: 1MB, 4-way, 32-byte lines,
+// 8-cycle latency, dirty bits at L1-block (= full line) granularity.
+func L2Config() Config {
+	c, err := Config{
+		Name: "L2", SizeBytes: 1 << 20, Ways: 4, BlockBytes: 32,
+		DirtyGranuleWords: 4, HitLatencyCycles: 8,
+	}.Validate()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// L3Config is the configuration used for the Sec. 7 future-work study
+// ("we expect an L3 CPPC to be even more energy efficient"): an 8MB
+// 16-way last-level cache with the same 32-byte lines, dirty-tracked at
+// L1-block granularity like the L2.
+func L3Config() Config {
+	c, err := Config{
+		Name: "L3", SizeBytes: 8 << 20, Ways: 16, BlockBytes: 32,
+		DirtyGranuleWords: 4, HitLatencyCycles: 30,
+	}.Validate()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// L1IConfig is the paper's Table 1 instruction cache: 16KB direct-mapped,
+// 32-byte lines, 1-cycle latency. Instruction caches hold no dirty data;
+// it participates only in the timing model.
+func L1IConfig() Config {
+	c, err := Config{
+		Name: "L1I", SizeBytes: 16 << 10, Ways: 1, BlockBytes: 32,
+		DirtyGranuleWords: 4, HitLatencyCycles: 1,
+	}.Validate()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

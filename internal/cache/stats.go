@@ -1,0 +1,66 @@
+package cache
+
+// Stats counts the cache events the paper's energy and performance models
+// consume (Sec. 6.2: "we count the number of read hits, write hits, and
+// read-before-write operations").
+type Stats struct {
+	Loads     uint64 // load accesses
+	Stores    uint64 // store accesses
+	LoadHits  uint64
+	StoreHits uint64
+	Misses    uint64 // load + store misses
+	Fills     uint64 // blocks brought in from the next level
+	WriteBack uint64 // dirty blocks pushed to the next level
+
+	// ReadBeforeWrite counts the extra read-port operations a protection
+	// scheme required: CPPC performs one per store to an already-dirty
+	// word; two-dimensional parity performs one per store and per miss
+	// fill (Sec. 2, Sec. 5.2).
+	ReadBeforeWrite uint64
+
+	// RBWOnMissLines counts whole-line reads forced by two-dimensional
+	// parity on miss fills ("in the case of a miss, an entire cache line
+	// must be read").
+	RBWOnMissLines uint64
+
+	// SubWordRMW counts read-modify-writes forced by sub-word stores:
+	// with per-word check bits every byte/halfword/word store must read
+	// the containing 64-bit word first. This cost is common to all
+	// per-word protection schemes (it is not a CPPC delta).
+	SubWordRMW uint64
+
+	// Detections / recoveries observed during the run.
+	FaultsDetected   uint64
+	FaultsCorrected  uint64
+	CleanRefetches   uint64 // faults in clean data repaired by re-fetching
+	UnrecoverableDUE uint64
+}
+
+// Accesses is total loads+stores.
+func (s *Stats) Accesses() uint64 { return s.Loads + s.Stores }
+
+// MissRate is misses per access.
+func (s *Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.LoadHits += o.LoadHits
+	s.StoreHits += o.StoreHits
+	s.Misses += o.Misses
+	s.Fills += o.Fills
+	s.WriteBack += o.WriteBack
+	s.ReadBeforeWrite += o.ReadBeforeWrite
+	s.RBWOnMissLines += o.RBWOnMissLines
+	s.SubWordRMW += o.SubWordRMW
+	s.FaultsDetected += o.FaultsDetected
+	s.FaultsCorrected += o.FaultsCorrected
+	s.CleanRefetches += o.CleanRefetches
+	s.UnrecoverableDUE += o.UnrecoverableDUE
+}

@@ -1,0 +1,182 @@
+// Package coherence implements a bus/directory-style write-invalidate MSI
+// protocol over N private L1 caches and a shared L2 — the substrate for
+// the paper's Sec. 7 multiprocessor hypothesis: "In invalidate protocols,
+// since many dirty blocks may be invalidated, the number of
+// read-before-write operations might decrease which might lead to better
+// efficiency in multiprocessor CPPCs."
+//
+// The protocol maps directly onto the existing protection machinery:
+//
+//   - a block is Modified in the one L1 whose copy has dirty granules;
+//   - Shared copies are valid-and-clean;
+//   - a remote read forces the owner to flush (write back, downgrade to
+//     Shared: Scheme.OnDowngrade folds the dirty data out of the CPPC
+//     registers);
+//   - a write invalidates every other copy (Controller.InvalidateBlock);
+//     an invalidated Modified block folds its dirty data into R2 on the
+//     way out, exactly like an eviction.
+//
+// Operations are globally ordered (the simulation is sequentially
+// consistent), so a golden map is a valid checker.
+package coherence
+
+import (
+	"fmt"
+
+	"cppc/internal/cache"
+	"cppc/internal/protect"
+)
+
+// Stats counts protocol events.
+type Stats struct {
+	BusReads                    uint64 // read misses served through the directory
+	BusReadX                    uint64 // writes that had to claim ownership
+	Invalidations               uint64 // copies killed by remote writes
+	OwnerFlushes                uint64 // M->S downgrades forced by remote reads
+	OwnerWritebackInvalidations uint64 // M copies killed by remote writes (dirty data folded out)
+}
+
+// dirEntry tracks one block's global state.
+type dirEntry struct {
+	sharers map[int]bool
+	owner   int // core holding the block Modified, or -1
+}
+
+// Multiprocessor is N cores with private L1s over one shared L2.
+type Multiprocessor struct {
+	L1s []*protect.Controller
+	L2  *protect.Controller
+	Mem *cache.Memory
+
+	dir   map[uint64]*dirEntry
+	Stats Stats
+
+	blockBytes uint64
+}
+
+// SchemeFactory builds a protection scheme for one cache.
+type SchemeFactory func(c *cache.Cache) protect.Scheme
+
+// New builds an n-core system. l1cfg/l2cfg describe the caches; mkL1/mkL2
+// build each level's protection.
+func New(n int, l1cfg, l2cfg cache.Config, mkL1, mkL2 SchemeFactory, memLatency int) *Multiprocessor {
+	mem := cache.NewMemory(l2cfg.BlockBytes, memLatency)
+	l2c := cache.New(l2cfg)
+	l2 := protect.NewController(l2c, mkL2(l2c), mem)
+	m := &Multiprocessor{
+		L2: l2, Mem: mem,
+		dir:        make(map[uint64]*dirEntry),
+		blockBytes: uint64(l1cfg.BlockBytes),
+	}
+	for i := 0; i < n; i++ {
+		c := cache.New(l1cfg)
+		m.L1s = append(m.L1s, protect.NewController(c, mkL1(c), l2))
+	}
+	return m
+}
+
+func (m *Multiprocessor) block(addr uint64) uint64 { return addr &^ (m.blockBytes - 1) }
+
+func (m *Multiprocessor) entry(addr uint64) *dirEntry {
+	b := m.block(addr)
+	e, ok := m.dir[b]
+	if !ok {
+		e = &dirEntry{sharers: make(map[int]bool), owner: -1}
+		m.dir[b] = e
+	}
+	return e
+}
+
+// noteEvictions reconciles the directory with silent L1 replacements: a
+// core's copy may have been evicted by capacity pressure without a
+// protocol event. Cheap probe-based lazy cleanup.
+func (m *Multiprocessor) reconcile(e *dirEntry, addr uint64) {
+	for core := range e.sharers {
+		if _, way := m.L1s[core].C.Probe(addr); way < 0 {
+			delete(e.sharers, core)
+			if e.owner == core {
+				e.owner = -1
+			}
+		}
+	}
+}
+
+// Read performs a load by `core` at addr.
+func (m *Multiprocessor) Read(core int, addr, now uint64) protect.AccessResult {
+	e := m.entry(addr)
+	m.reconcile(e, addr)
+	if !e.sharers[core] {
+		m.Stats.BusReads++
+		// A remote Modified copy must reach the L2 before we fetch.
+		if e.owner >= 0 && e.owner != core {
+			if m.L1s[e.owner].FlushBlock(addr, now) {
+				m.Stats.OwnerFlushes++
+			}
+			e.owner = -1
+		}
+	}
+	res := m.L1s[core].Load(addr, now)
+	e.sharers[core] = true
+	return res
+}
+
+// Write performs a store by `core` at addr.
+func (m *Multiprocessor) Write(core int, addr, val, now uint64) protect.AccessResult {
+	e := m.entry(addr)
+	m.reconcile(e, addr)
+	if e.owner != core {
+		m.Stats.BusReadX++
+		for other := range e.sharers {
+			if other == core {
+				continue
+			}
+			wasOwner := e.owner == other
+			if m.L1s[other].InvalidateBlock(addr, now) {
+				m.Stats.Invalidations++
+				if wasOwner {
+					m.Stats.OwnerWritebackInvalidations++
+				}
+			}
+			delete(e.sharers, other)
+		}
+		e.owner = core
+	}
+	res := m.L1s[core].Store(addr, val, now)
+	e.sharers[core] = true
+	return res
+}
+
+// CheckCoherent verifies the single-writer/multi-reader invariant: at
+// most one L1 holds any block dirty, and dirty copies match the directory
+// owner.
+func (m *Multiprocessor) CheckCoherent() error {
+	type holder struct{ core, set, way int }
+	dirtyHolders := map[uint64][]holder{}
+	for i, l1 := range m.L1s {
+		l1.C.ForEachValid(func(set, way int, ln *cache.Line) {
+			if ln.DirtyAny() {
+				b := l1.C.BlockAddr(set, way)
+				dirtyHolders[b] = append(dirtyHolders[b], holder{i, set, way})
+			}
+		})
+	}
+	for b, hs := range dirtyHolders {
+		if len(hs) > 1 {
+			return fmt.Errorf("coherence: block %#x dirty in %d caches", b, len(hs))
+		}
+		if e, ok := m.dir[b]; ok && e.owner != hs[0].core {
+			return fmt.Errorf("coherence: block %#x dirty in core %d but owner is %d",
+				b, hs[0].core, e.owner)
+		}
+	}
+	return nil
+}
+
+// TotalL1Stats sums the cache statistics across cores.
+func (m *Multiprocessor) TotalL1Stats() cache.Stats {
+	var total cache.Stats
+	for _, l1 := range m.L1s {
+		total.Add(l1.Stats)
+	}
+	return total
+}

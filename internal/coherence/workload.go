@@ -1,0 +1,69 @@
+package coherence
+
+import "math/rand"
+
+// Workload drives a multiprocessor with a mix of private and shared
+// traffic. SharedFrac of accesses go to a region all cores contend on
+// (migratory/producer-consumer style); the rest go to per-core private
+// regions with strong store locality — the pattern that maximizes CPPC's
+// read-before-write count on a uniprocessor.
+type Workload struct {
+	Cores        int
+	SharedFrac   float64 // fraction of accesses to the shared region
+	StoreFrac    float64 // fraction of accesses that are stores
+	SharedBytes  int
+	PrivateBytes int
+	StoreRehit   float64 // probability a private store revisits a recent target
+}
+
+// DefaultWorkload is a write-sharing-heavy configuration.
+func DefaultWorkload(cores int) Workload {
+	return Workload{
+		Cores: cores, SharedFrac: 0.3, StoreFrac: 0.3,
+		SharedBytes: 64 << 10, PrivateBytes: 64 << 10,
+		StoreRehit: 0.5,
+	}
+}
+
+// Run issues n accesses round-robin across cores and returns the golden
+// memory image for verification.
+func (w Workload) Run(m *Multiprocessor, n int, seed int64) map[uint64]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	golden := map[uint64]uint64{}
+	recent := make([][]uint64, w.Cores)
+	for i := range recent {
+		recent[i] = make([]uint64, 32)
+	}
+	var now uint64
+	for i := 0; i < n; i++ {
+		now++
+		core := i % w.Cores
+		var addr uint64
+		isStore := rng.Float64() < w.StoreFrac
+		if rng.Float64() < w.SharedFrac {
+			// Shared region: same address space for every core.
+			addr = uint64(rng.Intn(w.SharedBytes/8)) * 8
+		} else {
+			// Private region: disjoint per core, above the shared region.
+			base := uint64(w.SharedBytes) + uint64(core)*uint64(w.PrivateBytes)
+			if isStore && rng.Float64() < w.StoreRehit {
+				if a := recent[core][rng.Intn(len(recent[core]))]; a != 0 {
+					addr = a
+				} else {
+					addr = base + uint64(rng.Intn(w.PrivateBytes/8))*8
+				}
+			} else {
+				addr = base + uint64(rng.Intn(w.PrivateBytes/8))*8
+			}
+		}
+		if isStore {
+			v := rng.Uint64()
+			golden[addr] = v
+			m.Write(core, addr, v, now)
+			recent[core][rng.Intn(len(recent[core]))] = addr
+		} else {
+			m.Read(core, addr, now)
+		}
+	}
+	return golden
+}

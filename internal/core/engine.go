@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"cppc/internal/bitops"
+	"cppc/internal/cache"
+)
+
+// Events counts what the engine did; consumed by the energy model and the
+// fault campaigns.
+type Events struct {
+	Folds           uint64 // register XOR updates (R1 or R2)
+	Recoveries      uint64 // recovery procedures triggered
+	SweptGranules   uint64 // dirty granules visited during recoveries
+	CorrectedSingle uint64 // single-faulty-granule corrections (Sec. 3.2)
+	CorrectedCheck  uint64 // corrupted check bits rewritten
+	CorrectedDisj   uint64 // multi-fault, disjoint parity stripes (step 4)
+	CorrectedSpat   uint64 // spatial corrections via the fault locator
+	LocatorRuns     uint64
+	DUEs            uint64 // detected unrecoverable errors (step 7 halt)
+	RegisterScrubs  uint64 // register faults repaired from the cache (Sec. 4.9)
+}
+
+// Engine attaches CPPC protection to a cache. It owns the register pairs
+// and the per-granule interleaved parity bits (stored in the cache's check
+// array), and implements the recovery algorithm and fault locator.
+type Engine struct {
+	Cfg Config
+	C   *cache.Cache
+
+	granuleWords int
+	r1, r2       [][]uint64 // [pair][element]
+
+	// Sec. 4.9 register self-protection (EnableRegisterParity).
+	regParity    bool
+	r1Par, r2Par [][]uint64
+
+	Events Events
+}
+
+// New attaches a CPPC engine to c. The register width follows the cache's
+// dirty granularity: one word for an L1 CPPC, one L1 block for an L2 CPPC
+// (Sec. 3.5).
+func New(c *cache.Cache, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := c.Cfg.DirtyGranuleWords
+	e := &Engine{Cfg: cfg, C: c, granuleWords: g}
+	e.r1 = make([][]uint64, cfg.RegisterPairs)
+	e.r2 = make([][]uint64, cfg.RegisterPairs)
+	for p := range e.r1 {
+		e.r1[p] = make([]uint64, g)
+		e.r2[p] = make([]uint64, g)
+	}
+	return e, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(c *cache.Cache, cfg Config) *Engine {
+	e, err := New(c, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// GranuleWords is the register width in 64-bit words.
+func (e *Engine) GranuleWords() int { return e.granuleWords }
+
+// R1 and R2 expose register snapshots (copies) for inspection and tests.
+func (e *Engine) R1(pair int) []uint64 { return append([]uint64(nil), e.r1[pair]...) }
+func (e *Engine) R2(pair int) []uint64 { return append([]uint64(nil), e.r2[pair]...) }
+
+// GranuleData returns the live data slice of granule g of a line.
+func (e *Engine) GranuleData(ln *cache.Line, g int) []uint64 {
+	return ln.Data[g*e.granuleWords : (g+1)*e.granuleWords]
+}
+
+// ClassOf is the rotation class of granule g of block (set, way): the
+// physical row (of the granule's first word) modulo 8.
+func (e *Engine) ClassOf(set, way, g int) int {
+	return e.C.Geom.ClassOf(set, way, g*e.granuleWords)
+}
+
+// fold XORs data (rotated right by rot bytes, the paper's barrel-shifter
+// direction) into dst element-wise.
+func fold(dst, data []uint64, rot int) {
+	for j := range dst {
+		dst[j] ^= bitops.RotrBytes(data[j], rot)
+	}
+}
+
+// foldReg folds into a register and keeps its parity current when
+// register self-protection is enabled.
+func (e *Engine) foldReg(reg, par [][]uint64, pair int, data []uint64, rot int) {
+	fold(reg[pair], data, rot)
+	if e.regParity {
+		for j := range reg[pair] {
+			par[pair][j] = bitops.Parity(reg[pair][j], e.Cfg.ParityDegree)
+		}
+	}
+	e.Events.Folds++
+}
+
+// unfold reverses fold for a single register image.
+func unfold(reg []uint64, rot int) []uint64 {
+	out := make([]uint64, len(reg))
+	for j := range reg {
+		out[j] = bitops.RotlBytes(reg[j], rot)
+	}
+	return out
+}
+
+// GranuleParity computes the interleaved parity bits of a granule: stripe s
+// is the XOR of every data bit whose index is congruent to s modulo the
+// degree, across all words of the granule.
+func (e *Engine) GranuleParity(data []uint64) uint64 {
+	var p uint64
+	for _, w := range data {
+		p ^= bitops.Parity(w, e.Cfg.ParityDegree)
+	}
+	return p
+}
+
+// EncodeCheck recomputes and stores the parity bits for granule g.
+func (e *Engine) EncodeCheck(set, way, g int) {
+	ln := e.C.Line(set, way)
+	ln.Check[g*e.granuleWords] = e.GranuleParity(e.GranuleData(ln, g))
+}
+
+// CheckSyndrome recomputes granule g's parity and returns the set of
+// disagreeing stripes (0 = clean).
+func (e *Engine) CheckSyndrome(set, way, g int) uint64 {
+	ln := e.C.Line(set, way)
+	return ln.Check[g*e.granuleWords] ^ e.GranuleParity(e.GranuleData(ln, g))
+}
+
+// OnFill encodes check bits for a freshly installed (clean) block.
+func (e *Engine) OnFill(set, way int) {
+	for g := 0; g < e.C.Cfg.Granules(); g++ {
+		e.EncodeCheck(set, way, g)
+	}
+}
+
+// OnStore records a write of granule g: the cache line must already hold
+// the new data; old is the granule's previous contents and wasDirty its
+// previous dirty state. The new data is folded into R1 and, if the granule
+// was dirty, the displaced old data into R2 — the read-before-write of
+// Sec. 3.1. Check bits are re-encoded and the granule marked dirty.
+func (e *Engine) OnStore(set, way, g int, old []uint64, wasDirty bool, now uint64) {
+	class := e.ClassOf(set, way, g)
+	pair := e.Cfg.PairOf(class)
+	rot := e.Cfg.RotationOf(class)
+	ln := e.C.Line(set, way)
+	e.foldReg(e.r1, e.r1Par, pair, e.GranuleData(ln, g), rot)
+	if wasDirty {
+		e.foldReg(e.r2, e.r2Par, pair, old, rot)
+	}
+	e.C.MarkDirty(set, way, g*e.granuleWords, now)
+	e.EncodeCheck(set, way, g)
+}
+
+// OnRemoveDirty records the departure of dirty granule g (write-back or
+// invalidation): its current contents are folded into R2 and the granule
+// marked clean.
+func (e *Engine) OnRemoveDirty(set, way, g int) {
+	class := e.ClassOf(set, way, g)
+	pair := e.Cfg.PairOf(class)
+	rot := e.Cfg.RotationOf(class)
+	ln := e.C.Line(set, way)
+	e.foldReg(e.r2, e.r2Par, pair, e.GranuleData(ln, g), rot)
+	e.C.MarkClean(set, way, g)
+}
+
+// OnEvictBlock removes every dirty granule of a departing block.
+func (e *Engine) OnEvictBlock(set, way int) {
+	ln := e.C.Line(set, way)
+	for g, d := range ln.Dirty {
+		if d {
+			e.OnRemoveDirty(set, way, g)
+		}
+	}
+}
+
+// DirtyXor returns R1 ^ R2 for a pair: the XOR of the rotated images of
+// every dirty granule the pair protects (the paper's core invariant).
+func (e *Engine) DirtyXor(pair int) []uint64 {
+	out := make([]uint64, e.granuleWords)
+	for j := range out {
+		out[j] = e.r1[pair][j] ^ e.r2[pair][j]
+	}
+	return out
+}
+
+// dirtyXorFromCache recomputes, per pair, the XOR of the rotated images of
+// all dirty granules currently resident — by sweeping the arrays.
+func (e *Engine) dirtyXorFromCache() [][]uint64 {
+	acc := make([][]uint64, e.Cfg.RegisterPairs)
+	for p := range acc {
+		acc[p] = make([]uint64, e.granuleWords)
+	}
+	e.C.ForEachDirtyGranule(func(set, way, g int, ln *cache.Line) {
+		class := e.ClassOf(set, way, g)
+		fold(acc[e.Cfg.PairOf(class)], e.GranuleData(ln, g), e.Cfg.RotationOf(class))
+	})
+	return acc
+}
+
+// CheckInvariant verifies R1 ^ R2 against a fresh sweep of the cache; it
+// returns an error naming the first mismatching pair. Used by tests and by
+// register scrubbing.
+func (e *Engine) CheckInvariant() error {
+	swept := e.dirtyXorFromCache()
+	for p := 0; p < e.Cfg.RegisterPairs; p++ {
+		want := e.DirtyXor(p)
+		for j := range want {
+			if swept[p][j] != want[j] {
+				return fmt.Errorf("cppc: pair %d element %d: registers %#x, cache sweep %#x",
+					p, j, want[j], swept[p][j])
+			}
+		}
+	}
+	return nil
+}
+
+// ScrubRegisters re-derives the register state from the cache contents
+// (Sec. 4.9: recovering from a fault in R1 or R2 itself, valid provided no
+// dirty word is simultaneously faulty). After scrubbing, R1 holds the
+// dirty XOR and R2 is zero; the invariant R1^R2 is restored.
+func (e *Engine) ScrubRegisters() {
+	swept := e.dirtyXorFromCache()
+	for p := range e.r1 {
+		copy(e.r1[p], swept[p])
+		for j := range e.r2[p] {
+			e.r2[p][j] = 0
+		}
+	}
+}
+
+// FlipRegisterBits injects a fault into a register (for Sec. 4.9 tests).
+// which selects R1 (1) or R2 (2).
+func (e *Engine) FlipRegisterBits(pair, which, element int, mask uint64) {
+	switch which {
+	case 1:
+		e.r1[pair][element] ^= mask
+	case 2:
+		e.r2[pair][element] ^= mask
+	default:
+		panic("cppc: which must be 1 or 2")
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import "cppc/internal/bitops"
+
+// The fault locator (Sec. 4.5). Parity stripes say *that* a granule is
+// faulty and in which stripes, but not *which bit* of a stripe flipped.
+// Under the spatial assumption — every flipped cell lies inside one byte
+// column or two physically adjacent byte columns of the data array — the
+// register residue R3 pins the flips down:
+//
+//   - byte rotation preserves a bit's stripe (rotations are whole bytes,
+//     and the parity degree divides 8), so each R3 bit's stripe is the
+//     stripe of the flipped cell it came from;
+//   - within a square at most 8 bit-columns wide, no two flipped cells can
+//     land on the same R3 bit (they would have to sit exactly 8 columns
+//     apart in rows whose classes differ by the same amount), so every set
+//     bit of R3 is exactly one flipped cell;
+//   - a cell in element j, byte x of a class-c granule lands in element j,
+//     byte (x - rot(c)) mod 8 of R3.
+//
+// The locator therefore enumerates the candidate byte-column hypotheses,
+// and for each one searches for an attribution of every R3 set bit to a
+// faulty granule such that each granule's attributed stripes are exactly
+// its faulty parity stripes. A unique attribution across all hypotheses
+// locates the fault; none, or more than one distinct attribution, is a DUE
+// — which is precisely how the Sec. 4.6 corner cases (full 8x8 faults,
+// rows 4 apart with one pair) fail, and how the Sec. 4.7 temporal-aliasing
+// miscorrection arises when a wrong-but-unique attribution exists.
+
+// hypothesis is a set of allowed source byte columns, as (element, byte)
+// pairs; one column, two adjacent columns within an element (with
+// wraparound, since the rotation wraps within a word), or the boundary
+// pair spanning two adjacent elements.
+type hypothesis [][2]int
+
+// r3bit is one set bit of the register residue awaiting attribution.
+type r3bit struct {
+	elem, pos int // register element and bit position within it
+	stripe    int // parity stripe of the bit (preserved by rotation)
+	byteIdx   int // byte column of the bit within the element
+}
+
+func (e *Engine) hypotheses() []hypothesis {
+	g := e.granuleWords
+	var hs []hypothesis
+	for j := 0; j < g; j++ {
+		for x := 0; x < 8; x++ {
+			hs = append(hs, hypothesis{{j, x}})
+		}
+		for x := 0; x < 8; x++ {
+			hs = append(hs, hypothesis{{j, x}, {j, (x + 1) % 8}})
+		}
+	}
+	for j := 0; j+1 < g; j++ {
+		hs = append(hs, hypothesis{{j, 7}, {j + 1, 0}})
+	}
+	return hs
+}
+
+// locate returns one correction mask per entry of faults (parallel
+// slices), or ok=false when no unique attribution exists.
+func (e *Engine) locate(faults []faultInfo, r3 []uint64) (masks [][]uint64, ok bool) {
+	degree := e.Cfg.ParityDegree
+
+	// The R3 set bits to attribute.
+	var bits []r3bit
+	for j, w := range r3 {
+		for _, p := range bitops.OnesPositions(w) {
+			bits = append(bits, r3bit{elem: j, pos: p, stripe: p % degree, byteIdx: p / 8})
+		}
+	}
+
+	// Every granule must receive exactly one bit per faulty stripe.
+	need := 0
+	stripesOf := make([][]int, len(faults))
+	for i, f := range faults {
+		stripesOf[i] = bitops.FaultyStripes(f.syndrome, degree)
+		need += len(stripesOf[i])
+	}
+	if need != len(bits) {
+		return nil, false
+	}
+
+	var (
+		solutions  []string
+		firstMasks [][]uint64
+	)
+	for _, h := range e.hypotheses() {
+		m, n := e.solveHypothesis(h, faults, bits)
+		if n == 0 {
+			continue
+		}
+		if n > 1 {
+			return nil, false // ambiguous within one hypothesis
+		}
+		key := fmtMasks(m)
+		dup := false
+		for _, s := range solutions {
+			if s == key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			solutions = append(solutions, key)
+			if firstMasks == nil {
+				firstMasks = m
+			}
+		}
+		if len(solutions) > 1 {
+			return nil, false // distinct attributions across hypotheses
+		}
+	}
+	if len(solutions) != 1 {
+		return nil, false
+	}
+	return firstMasks, true
+}
+
+// solveHypothesis backtracks over attributions of R3 bits to faulty
+// granules under one byte-column hypothesis, returning the first solution
+// found and the number of distinct solutions (capped at 2).
+func (e *Engine) solveHypothesis(h hypothesis, faults []faultInfo, bits []r3bit) ([][]uint64, int) {
+	allowed := func(elem, x int) bool {
+		for _, c := range h {
+			if c[0] == elem && c[1] == x {
+				return true
+			}
+		}
+		return false
+	}
+
+	// candidates[b] lists the faulty-granule indices that could own bit b.
+	candidates := make([][]int, len(bits))
+	for b, rb := range bits {
+		for i, f := range faults {
+			if f.syndrome&(1<<uint(rb.stripe)) == 0 {
+				continue
+			}
+			// Source byte of granule i that folds into this R3 byte.
+			x := (rb.byteIdx + f.rot) % 8
+			if allowed(rb.elem, x) {
+				candidates[b] = append(candidates[b], i)
+			}
+		}
+		if len(candidates[b]) == 0 {
+			return nil, 0
+		}
+	}
+
+	// used[i] is the set of stripes already attributed to granule i.
+	used := make([]uint64, len(faults))
+	assign := make([]int, len(bits))
+	var (
+		found  int
+		result [][]uint64
+	)
+	var rec func(b int)
+	rec = func(b int) {
+		if found >= 2 {
+			return
+		}
+		if b == len(bits) {
+			// Count equality guarantees full coverage at this point.
+			found++
+			if found == 1 {
+				result = e.buildMasks(faults, bits, assign)
+			}
+			return
+		}
+		rb := bits[b]
+		for _, i := range candidates[b] {
+			if used[i]&(1<<uint(rb.stripe)) != 0 {
+				continue
+			}
+			used[i] |= 1 << uint(rb.stripe)
+			assign[b] = i
+			rec(b + 1)
+			used[i] &^= 1 << uint(rb.stripe)
+		}
+	}
+	rec(0)
+	return result, found
+}
+
+// buildMasks converts an attribution into per-granule correction masks by
+// unfolding each attributed R3 bit back through the granule's rotation.
+func (e *Engine) buildMasks(faults []faultInfo, bits []r3bit, assign []int) [][]uint64 {
+	masks := make([][]uint64, len(faults))
+	for i := range masks {
+		masks[i] = make([]uint64, e.granuleWords)
+	}
+	for b, rb := range bits {
+		i := assign[b]
+		x := (rb.byteIdx + faults[i].rot) % 8
+		srcPos := x*8 + rb.pos%8
+		masks[i][rb.elem] |= 1 << uint(srcPos)
+	}
+	return masks
+}

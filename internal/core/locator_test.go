@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSection45WorkedExample reproduces the paper's Sec. 4.5 walkthrough
+// bit for bit: a spatial fault flips bits 5-12 of four words from rotation
+// classes 0-3. The paper states that parity bits P0-P7 of all four rows
+// detect errors and that bits 0-12 and 45-63 of R3 are set; the locator
+// then peels the words class by class and corrects all 32 flips.
+func TestSection45WorkedExample(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	const faultMask = uint64(0x1FE0) // bits 5..12
+
+	want := make([]uint64, 4)
+	for r := 0; r < 4; r++ {
+		want[r] = uint64(r+1) * 0x0123_4567_89ab_cdef
+		h.store(h.rowAddr(r, 0), want[r])
+	}
+	for r := 0; r < 4; r++ {
+		h.flip(h.rowAddr(r, 0), faultMask)
+	}
+
+	// All eight parity stripes of each faulty word must flag (the mask
+	// covers stripes 5,6,7 in byte 0 and 0..4 in byte 1).
+	for r := 0; r < 4; r++ {
+		set, way, _, g := h.locate(h.rowAddr(r, 0))
+		if syn := h.e.CheckSyndrome(set, way, g); syn != 0xff {
+			t.Fatalf("row %d syndrome = %#x, want 0xff", r, syn)
+		}
+	}
+
+	// R3 = R1 ^ R2 ^ XOR(rotated dirty words) must have exactly bits 0-12
+	// and 45-63 set, as the paper states.
+	swept := h.e.dirtyXorFromCache()
+	r3 := h.e.DirtyXor(0)[0] ^ swept[0][0]
+	var wantR3 uint64
+	for b := 0; b <= 12; b++ {
+		wantR3 |= 1 << uint(b)
+	}
+	for b := 45; b <= 63; b++ {
+		wantR3 |= 1 << uint(b)
+	}
+	if r3 != wantR3 {
+		t.Fatalf("R3 = %#x, want %#x", r3, wantR3)
+	}
+
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeCorrected || rep.Method != "locator" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Faulty) != 4 {
+		t.Fatalf("faulty count = %d", len(rep.Faulty))
+	}
+	for r := 0; r < 4; r++ {
+		if got, syn := h.load(h.rowAddr(r, 0)); got != want[r] || syn != 0 {
+			t.Fatalf("row %d = %#x (syn %#x), want %#x", r, got, syn, want[r])
+		}
+	}
+	if h.e.Events.LocatorRuns != 1 || h.e.Events.CorrectedSpat != 1 {
+		t.Fatalf("events = %+v", h.e.Events)
+	}
+}
+
+// TestHypothesesEnumeration sanity-checks the hypothesis space: 8 singles
+// and 8 wrapping pairs per element, plus element-boundary pairs.
+func TestHypothesesEnumeration(t *testing.T) {
+	h1 := newHarness(t, DefaultL1Config())
+	if got := len(h1.e.hypotheses()); got != 16 {
+		t.Errorf("L1 hypotheses = %d, want 16", got)
+	}
+	h2 := newL2Harness(t, DefaultL2Config())
+	if got := len(h2.e.hypotheses()); got != 4*16+3 {
+		t.Errorf("L2 hypotheses = %d, want 67", got)
+	}
+}
+
+// TestLocatorRejectsStrayResidue: if R3 carries bits whose stripe no
+// faulty word flagged (e.g. an undetected even flip elsewhere corrupted
+// the residue), attribution is impossible and recovery must report DUE
+// rather than guess.
+func TestLocatorRejectsStrayResidue(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	h.store(h.rowAddr(0, 0), 1)
+	h.store(h.rowAddr(1, 0), 2)
+	// Shared stripe 0 faults in two words (forces the spatial path)...
+	h.flip(h.rowAddr(0, 0), 1<<0)
+	h.flip(h.rowAddr(1, 0), 1<<0)
+	// ...plus an undetectable double flip in stripe 3 of the first word,
+	// which poisons R3 with bits no syndrome accounts for.
+	h.flip(h.rowAddr(0, 0), 1<<3|1<<11)
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeDUE {
+		t.Fatalf("stray residue unexpectedly %v", rep.Outcome)
+	}
+}
+
+// TestDiagonalFault: a 3x3 diagonal inside the square (one bit per row,
+// sliding columns) is still within an adjacent-byte hypothesis only if it
+// spans <= 2 byte columns; a tight diagonal within one byte is corrected.
+func TestDiagonalFault(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	want := make([]uint64, 3)
+	for r := 0; r < 3; r++ {
+		want[r] = uint64(0xf0f0 << r)
+		h.store(h.rowAddr(r, 0), want[r])
+	}
+	// Diagonal: bit 16+r of row r (all in byte 2).
+	for r := 0; r < 3; r++ {
+		h.flip(h.rowAddr(r, 0), 1<<uint(16+r))
+	}
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	for r := 0; r < 3; r++ {
+		if got, _ := h.load(h.rowAddr(r, 0)); got != want[r] {
+			t.Fatalf("row %d = %#x, want %#x", r, got, want[r])
+		}
+	}
+}
+
+// TestLocatorSkipsCleanRows: dirty words between the faulty rows that are
+// not faulty must not confuse attribution.
+func TestLocatorSkipsCleanRows(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	for r := 0; r < 5; r++ {
+		h.store(h.rowAddr(r, 0), uint64(r)*3)
+	}
+	// Vertical 2-bit fault on rows 1 and 3 (distance 2, shared stripe).
+	h.flip(h.rowAddr(1, 0), 1<<24)
+	h.flip(h.rowAddr(3, 0), 1<<24)
+	rep := h.recoverAt(h.rowAddr(1, 0))
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	for r := 0; r < 5; r++ {
+		if got, _ := h.load(h.rowAddr(r, 0)); got != uint64(r)*3 {
+			t.Fatalf("row %d = %#x", r, got)
+		}
+	}
+}
+
+// TestFigure7ByteMapping verifies the paper's Fig. 7 arrangement directly:
+// byte x of a rotation-class-c word lands in register byte (x - c) mod 8,
+// so e.g. a vertical fault in bit 0 of byte 0 of classes 0, 1, 2 shows up
+// in bytes 0, 7 and 6 of the registers — the exact cells the paper lists.
+func TestFigure7ByteMapping(t *testing.T) {
+	for class := 0; class < 3; class++ {
+		// Store a word whose only set byte is byte 0, into a row of the
+		// wanted class, and observe which register byte it occupies.
+		h2 := newHarness(t, DefaultL1Config())
+		h2.store(h2.rowAddr(class, 0), 0x01) // bit 0 of byte 0
+		r1 := h2.e.R1(0)[0]
+		wantByte := ((0-class)%8 + 8) % 8
+		if r1 != uint64(1)<<(uint(wantByte)*8) {
+			t.Errorf("class %d: R1 = %#x, want bit 0 of byte %d", class, r1, wantByte)
+		}
+	}
+}

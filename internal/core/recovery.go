@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"cppc/internal/bitops"
+	"cppc/internal/cache"
+)
+
+// Outcome classifies a recovery attempt.
+type Outcome int
+
+const (
+	// OutcomeCorrected: every detected fault was repaired and re-verified.
+	OutcomeCorrected Outcome = iota
+	// OutcomeDUE: detected but unrecoverable — the paper's step 7
+	// machine-check halt.
+	OutcomeDUE
+)
+
+func (o Outcome) String() string {
+	if o == OutcomeCorrected {
+		return "corrected"
+	}
+	return "DUE"
+}
+
+// GranuleRef names a dirty granule.
+type GranuleRef struct{ Set, Way, G int }
+
+// Report describes one recovery run.
+type Report struct {
+	Outcome Outcome
+	Faulty  []GranuleRef // every granule found faulty during the sweep
+	Method  string       // which path corrected (or gave up): single, check-bits, disjoint, locator, none
+}
+
+// faultInfo is the recovery algorithm's working record for one faulty
+// dirty granule.
+type faultInfo struct {
+	set, way, g int
+	class, rot  int
+	pair        int
+	row         int
+	syndrome    uint64 // disagreeing parity stripes
+}
+
+// RecoverDirty runs the paper's recovery procedure (Sec. 4.4) after a
+// parity mismatch was detected on dirty granule (set, way, g). It sweeps
+// all dirty granules (step 1, detecting any further faulty ones), then per
+// register pair picks the applicable path:
+//
+//   - a single faulty granule is rebuilt from R1 ^ R2 ^ (XOR of all other
+//     rotated dirty granules) (steps 1-2, Sec. 3.2);
+//   - several faulty granules whose faulty parity stripes are disjoint are
+//     each rebuilt from the stripes the registers attribute to them
+//     (step 4);
+//   - otherwise the fault is treated as a spatial MBE: the fault locator
+//     (Sec. 4.5) searches for the unique placement of flipped bits inside
+//     one byte column or two adjacent byte columns that explains R3, the
+//     faulty parity stripes and the rotation classes (steps 5-6).
+//
+// Every correction is re-verified against the stored parity; anything that
+// fails, is out of spatial range, or is ambiguous becomes a DUE (step 7).
+func (e *Engine) RecoverDirty(set, way, g int) Report {
+	e.Events.Recoveries++
+
+	// Sec. 4.9: the registers are about to be read — check their own
+	// parity first. A corrupted register cannot reconstruct anything; it
+	// is scrubbed from the cache's dirty data, but since the triggering
+	// granule is itself faulty the combined event is unrecoverable.
+	if !e.checkRegistersBeforeRecovery() {
+		e.Events.DUEs++
+		return Report{Outcome: OutcomeDUE, Method: "register-scrub"}
+	}
+
+	// Step 1: sweep every dirty granule once, accumulating the rotated
+	// XOR per pair and parity-checking each granule on the way.
+	acc := make([][]uint64, e.Cfg.RegisterPairs)
+	for p := range acc {
+		acc[p] = make([]uint64, e.granuleWords)
+	}
+	byPair := make([][]faultInfo, e.Cfg.RegisterPairs)
+	triggerSeen := false
+	e.C.ForEachDirtyGranule(func(fs, fw, fg int, ln *cache.Line) {
+		e.Events.SweptGranules++
+		class := e.ClassOf(fs, fw, fg)
+		pair := e.Cfg.PairOf(class)
+		rot := e.Cfg.RotationOf(class)
+		fold(acc[pair], e.GranuleData(ln, fg), rot)
+		if syn := e.CheckSyndrome(fs, fw, fg); syn != 0 {
+			byPair[pair] = append(byPair[pair], faultInfo{
+				set: fs, way: fw, g: fg,
+				class: class, rot: rot, pair: pair,
+				row:      e.C.Geom.CoordOf(fs, fw, fg*e.granuleWords).Row,
+				syndrome: syn,
+			})
+			if fs == set && fw == way && fg == g {
+				triggerSeen = true
+			}
+		}
+	})
+	if !triggerSeen {
+		// The triggering granule is no longer dirty or no longer faulty —
+		// e.g. the caller raced recovery with an eviction. Nothing to do.
+		return Report{Outcome: OutcomeCorrected, Method: "none"}
+	}
+
+	rep := Report{Outcome: OutcomeCorrected}
+	for pair := range byPair {
+		faults := byPair[pair]
+		if len(faults) == 0 {
+			continue
+		}
+		for _, f := range faults {
+			rep.Faulty = append(rep.Faulty, GranuleRef{f.set, f.way, f.g})
+		}
+		// R3 = R1 ^ R2 ^ (rotated XOR of all dirty granules, faulty
+		// included): the XOR of the rotated error masks (Sec. 4.5).
+		r3 := make([]uint64, e.granuleWords)
+		for j := range r3 {
+			r3[j] = e.r1[pair][j] ^ e.r2[pair][j] ^ acc[pair][j]
+		}
+		method, ok := e.recoverPair(faults, r3)
+		if rep.Method == "" || rep.Method == "none" {
+			rep.Method = method
+		} else if method != rep.Method {
+			rep.Method = rep.Method + "+" + method
+		}
+		if !ok {
+			rep.Outcome = OutcomeDUE
+		}
+	}
+	if rep.Outcome == OutcomeDUE {
+		e.Events.DUEs++
+	}
+	return rep
+}
+
+// recoverPair repairs the faulty granules of one register pair. It returns
+// the correction path taken and whether every fault was repaired and
+// re-verified.
+func (e *Engine) recoverPair(faults []faultInfo, r3 []uint64) (string, bool) {
+	// Single faulty granule: steps 1-2.
+	if len(faults) == 1 {
+		f := faults[0]
+		mask := unfold(r3, f.rot)
+		if allZero(mask) {
+			// The data matches the registers exactly: the stored parity
+			// bits themselves are corrupted. Rewrite them.
+			e.EncodeCheck(f.set, f.way, f.g)
+			e.Events.CorrectedCheck++
+			return "check-bits", true
+		}
+		e.applyMask(f, mask)
+		if e.CheckSyndrome(f.set, f.way, f.g) != 0 {
+			return "single", false
+		}
+		e.Events.CorrectedSingle++
+		return "single", true
+	}
+
+	// Step 3: do the faulty granules share any faulty parity stripe?
+	disjoint := true
+	for i := 0; i < len(faults) && disjoint; i++ {
+		for k := i + 1; k < len(faults); k++ {
+			if faults[i].syndrome&faults[k].syndrome != 0 {
+				disjoint = false
+				break
+			}
+		}
+	}
+
+	if disjoint {
+		// Step 4: every faulty granule owns its faulty stripes exclusively,
+		// so the bits R3 carries in those stripe columns belong to it.
+		for _, f := range faults {
+			var stripeCols uint64
+			for _, s := range bitops.FaultyStripes(f.syndrome, e.Cfg.ParityDegree) {
+				stripeCols |= bitops.StripeMask(s, e.Cfg.ParityDegree)
+			}
+			cand := unfold(r3, f.rot)
+			mask := make([]uint64, e.granuleWords)
+			for j := range mask {
+				mask[j] = cand[j] & stripeCols
+			}
+			e.applyMask(f, mask)
+			if e.CheckSyndrome(f.set, f.way, f.g) != 0 {
+				return "disjoint", false
+			}
+		}
+		e.Events.CorrectedDisj++
+		return "disjoint", true
+	}
+
+	// Step 5: spatial hypothesis — the faulty rows must fit in the 8-row
+	// correction window.
+	minRow, maxRow := faults[0].row, faults[0].row
+	for _, f := range faults[1:] {
+		if f.row < minRow {
+			minRow = f.row
+		}
+		if f.row > maxRow {
+			maxRow = f.row
+		}
+	}
+	if maxRow-minRow >= 8 {
+		return "locator", false
+	}
+
+	// Step 6: the fault locator.
+	e.Events.LocatorRuns++
+	masks, ok := e.locate(faults, r3)
+	if !ok {
+		return "locator", false
+	}
+	for i, f := range faults {
+		e.applyMask(f, masks[i])
+		if e.CheckSyndrome(f.set, f.way, f.g) != 0 {
+			return "locator", false
+		}
+	}
+	e.Events.CorrectedSpat++
+	return "locator", true
+}
+
+// applyMask XORs a correction mask into the granule's stored data.
+func (e *Engine) applyMask(f faultInfo, mask []uint64) {
+	ln := e.C.Line(f.set, f.way)
+	data := e.GranuleData(ln, f.g)
+	for j := range data {
+		data[j] ^= mask[j]
+	}
+}
+
+func allZero(v []uint64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtMasks(masks [][]uint64) string {
+	return fmt.Sprintf("%x", masks)
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFigure3SingleBitRecovery reproduces the paper's Sec. 3.3 example:
+// two stores, a particle strike on the MSB of the first word, recovery by
+// XORing R1, R2 and the other dirty word.
+func TestFigure3SingleBitRecovery(t *testing.T) {
+	h := newHarness(t, Config{ParityDegree: 1, RegisterPairs: 1}) // basic CPPC
+	w0 := h.rowAddr(0, 0)
+	w1 := h.rowAddr(0, 1) // same block: both in the dirty set
+	h.store(w0, 0x0000)
+	h.store(w1, 0x8000_0000_0000_0000)
+
+	h.flip(w0, 1<<63) // MSB of Word0 flips 0 -> 1
+	if _, syn := h.load(w0); syn == 0 {
+		t.Fatal("parity failed to detect the flip")
+	}
+	rep := h.recoverAt(w0)
+	if rep.Outcome != OutcomeCorrected || rep.Method != "single" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got, syn := h.load(w0); got != 0 || syn != 0 {
+		t.Fatalf("recovered Word0 = %#x (syndrome %#x), want 0", got, syn)
+	}
+}
+
+// TestFigure4BasicCPPCFailsVerticalMBE reproduces Sec. 4.2's negative
+// example: without byte shifting, a vertical 2-bit fault hitting the same
+// bit of two vertically adjacent dirty words is unrecoverable — the two
+// flips cancel inside R1 ^ R2.
+func TestFigure4BasicCPPCFailsVerticalMBE(t *testing.T) {
+	h := newHarness(t, Config{ParityDegree: 8, RegisterPairs: 1, ByteShifting: false})
+	a := h.rowAddr(0, 0) // row 0
+	b := h.rowAddr(1, 0) // row 1, vertically adjacent
+	h.store(a, 0)
+	h.store(b, 0x8000_0000_0000_0000)
+
+	h.flip(a, 1<<63)
+	h.flip(b, 1<<63)
+	rep := h.recoverAt(a)
+	if rep.Outcome != OutcomeDUE {
+		t.Fatalf("basic CPPC corrected a vertical MBE: %+v", rep)
+	}
+}
+
+// TestFigure5ByteShiftingCorrectsVerticalMBE is the positive counterpart
+// (Sec. 4.2): with byte shifting the same vertical fault is corrected.
+func TestFigure5ByteShiftingCorrectsVerticalMBE(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	a := h.rowAddr(0, 0)
+	b := h.rowAddr(1, 0)
+	h.store(a, 0)
+	h.store(b, 0x8000_0000_0000_0000)
+
+	h.flip(a, 1<<63)
+	h.flip(b, 1<<63)
+	rep := h.recoverAt(a)
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got, syn := h.load(a); got != 0 || syn != 0 {
+		t.Fatalf("Word0 = %#x syn %#x", got, syn)
+	}
+	if got, syn := h.load(b); got != 0x8000_0000_0000_0000 || syn != 0 {
+		t.Fatalf("Word1 = %#x syn %#x", got, syn)
+	}
+}
+
+// TestVerticalColumnSixRows corrects a 6-high vertical fault: the same
+// bit flipped in 6 vertically adjacent dirty words. With one register
+// pair this is the tallest vertical column with a unique attribution.
+func TestVerticalColumnSixRows(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	want := make([]uint64, 6)
+	for r := 0; r < 6; r++ {
+		want[r] = uint64(r) * 0x0101_0101_0101_0101
+		h.store(h.rowAddr(r, 0), want[r])
+	}
+	for r := 0; r < 6; r++ {
+		h.flip(h.rowAddr(r, 0), 1<<17)
+	}
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	for r := 0; r < 6; r++ {
+		if got, syn := h.load(h.rowAddr(r, 0)); got != want[r] || syn != 0 {
+			t.Fatalf("row %d = %#x (syn %#x), want %#x", r, got, syn, want[r])
+		}
+	}
+}
+
+// TestVerticalColumnTallDegeneracy documents a coverage boundary the
+// paper's Sec. 4.6 examples do not enumerate: a vertical column 7 or 8
+// rows high saturates enough rotation classes that (by mod-8 wraparound)
+// a second spatially valid byte-column attribution exists. The residue
+// information is genuinely ambiguous, so a single pair yields a DUE; two
+// pairs split the column and correct it.
+func TestVerticalColumnTallDegeneracy(t *testing.T) {
+	run := func(rows, pairs int) Report {
+		h := newHarness(t, Config{ParityDegree: 8, RegisterPairs: pairs, ByteShifting: true})
+		for r := 0; r < rows; r++ {
+			h.store(h.rowAddr(r, 0), uint64(r))
+		}
+		for r := 0; r < rows; r++ {
+			h.flip(h.rowAddr(r, 0), 1<<17)
+		}
+		return h.recoverAt(h.rowAddr(0, 0))
+	}
+	for _, rows := range []int{7, 8} {
+		if rep := run(rows, 1); rep.Outcome != OutcomeDUE {
+			t.Fatalf("%d rows, one pair: want DUE, got %+v", rows, rep)
+		}
+		if rep := run(rows, 2); rep.Outcome != OutcomeCorrected {
+			t.Fatalf("%d rows, two pairs: want corrected, got %+v", rows, rep)
+		}
+	}
+}
+
+// TestHorizontalCrossWordBoundary reproduces the Sec. 3.6 example: a 7-bit
+// horizontal fault across bits 62-63 of the left word and bits 0-4 of the
+// right word. The two words' faulty parity stripes are disjoint, so the
+// basic CPPC with interleaved parity corrects it (step 4).
+func TestHorizontalCrossWordBoundary(t *testing.T) {
+	h := newHarness(t, Config{ParityDegree: 8, RegisterPairs: 1, ByteShifting: false})
+	left := h.rowAddr(3, 0)
+	right := h.rowAddr(3, 1)
+	h.store(left, 0x1111_2222_3333_4444)
+	h.store(right, 0x5555_6666_7777_8888)
+
+	h.flip(left, uint64(0b11)<<62) // bits 62, 63: stripes 6, 7
+	h.flip(right, 0b11111)         // bits 0-4: stripes 0-4
+	rep := h.recoverAt(left)
+	if rep.Outcome != OutcomeCorrected || rep.Method != "disjoint" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got, _ := h.load(left); got != 0x1111_2222_3333_4444 {
+		t.Fatalf("left = %#x", got)
+	}
+	if got, _ := h.load(right); got != 0x5555_6666_7777_8888 {
+		t.Fatalf("right = %#x", got)
+	}
+}
+
+// TestSquare8x8CrossingWordBoundary: an 8x8 square whose columns straddle
+// a word boundary, with byte shifting — 16 faulty words, located via the
+// cross-boundary hypothesis.
+func TestSquare2x2CrossingWordBoundary(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	vals := map[uint64]uint64{}
+	for r := 0; r < 2; r++ {
+		for w := 0; w < 2; w++ {
+			addr := h.rowAddr(r, w)
+			vals[addr] = rand.New(rand.NewSource(int64(r*2 + w))).Uint64()
+			h.store(addr, vals[addr])
+		}
+	}
+	// 2x2 square at bit columns 63-64 of each row: bit 63 of word 0, bit 0
+	// of word 1.
+	for r := 0; r < 2; r++ {
+		h.flip(h.rowAddr(r, 0), 1<<63)
+		h.flip(h.rowAddr(r, 1), 1)
+	}
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	for addr, want := range vals {
+		if got, syn := h.load(addr); got != want || syn != 0 {
+			t.Fatalf("addr %#x = %#x (syn %#x), want %#x", addr, got, syn, want)
+		}
+	}
+}
+
+// TestFull8x8OnePairIsDUE reproduces the first Sec. 4.6 corner case: a
+// full 8x8 fault saturates every parity bit and every R3 bit, leaving no
+// way to attribute bits to words — a DUE with one register pair.
+func TestFull8x8OnePairIsDUE(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	for r := 0; r < 8; r++ {
+		h.store(h.rowAddr(r, 0), uint64(r)<<32)
+	}
+	for r := 0; r < 8; r++ {
+		h.flip(h.rowAddr(r, 0), 0xff<<16) // byte 2 of every row: 8x8 square
+	}
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeDUE {
+		t.Fatalf("8x8 with one pair unexpectedly %v (method %s)", rep.Outcome, rep.Method)
+	}
+}
+
+// TestFull8x8TwoPairsCorrected: the Sec. 4.6 fix — with two register pairs
+// the 8x8 fault splits into two 4x8 faults in different pairs, both
+// correctable.
+func TestFull8x8TwoPairsCorrected(t *testing.T) {
+	h := newHarness(t, Config{ParityDegree: 8, RegisterPairs: 2, ByteShifting: true})
+	want := make([]uint64, 8)
+	for r := 0; r < 8; r++ {
+		want[r] = uint64(r) << 32
+		h.store(h.rowAddr(r, 0), want[r])
+	}
+	for r := 0; r < 8; r++ {
+		h.flip(h.rowAddr(r, 0), 0xff<<16)
+	}
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	for r := 0; r < 8; r++ {
+		if got, _ := h.load(h.rowAddr(r, 0)); got != want[r] {
+			t.Fatalf("row %d = %#x, want %#x", r, got, want[r])
+		}
+	}
+}
+
+// TestRows4ApartOnePairIsDUE reproduces the second Sec. 4.6 corner case:
+// faults in the same byte of a class-0 and a class-4 word are ambiguous
+// with one pair (byte 0 vs byte 4 placement cannot be distinguished).
+func TestRows4ApartOnePairIsDUE(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	h.store(h.rowAddr(0, 0), 0xa)
+	h.store(h.rowAddr(4, 0), 0xb)
+	h.flip(h.rowAddr(0, 0), 1<<3) // byte 0
+	h.flip(h.rowAddr(4, 0), 1<<3) // byte 0, class 4
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeDUE {
+		t.Fatalf("class-0/class-4 aliasing unexpectedly %v", rep.Outcome)
+	}
+}
+
+// TestRows4ApartTwoPairsCorrected: with two pairs, classes 0 and 4 live in
+// different pairs; each becomes a trivially correctable single fault.
+func TestRows4ApartTwoPairsCorrected(t *testing.T) {
+	h := newHarness(t, Config{ParityDegree: 8, RegisterPairs: 2, ByteShifting: true})
+	h.store(h.rowAddr(0, 0), 0xa)
+	h.store(h.rowAddr(4, 0), 0xb)
+	h.flip(h.rowAddr(0, 0), 1<<3)
+	h.flip(h.rowAddr(4, 0), 1<<3)
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got, _ := h.load(h.rowAddr(0, 0)); got != 0xa {
+		t.Fatalf("row 0 = %#x", got)
+	}
+	if got, _ := h.load(h.rowAddr(4, 0)); got != 0xb {
+		t.Fatalf("row 4 = %#x", got)
+	}
+}
+
+// TestTemporalAliasingSDC reproduces the Sec. 4.7 hazard: two *temporal*
+// single-bit faults — bit 56 of a class-0 word and bit 8 of a class-1 word
+// — present the registers with a pattern indistinguishable from a spatial
+// fault in bit 0 of both words. The locator confidently "corrects" the
+// wrong bits, converting a 2-bit DUE into a 4-bit silent data corruption.
+func TestTemporalAliasingSDC(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	a := h.rowAddr(0, 0)
+	b := h.rowAddr(1, 0)
+	h.store(a, 0)
+	h.store(b, 0)
+	h.flip(a, 1<<56)
+	h.flip(b, 1<<8)
+	rep := h.recoverAt(a)
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("aliasing case did not mis-correct: %+v", rep)
+	}
+	// The locator flipped bit 0 of both words instead; each word now has
+	// both its real fault and the miscorrection: 4 corrupted bits, parity
+	// silent.
+	gotA, synA := h.load(a)
+	gotB, synB := h.load(b)
+	if synA != 0 || synB != 0 {
+		t.Fatalf("miscorrection should be parity-silent: %#x %#x", synA, synB)
+	}
+	if gotA != (1<<56|1) || gotB != (1<<8|1) {
+		t.Fatalf("unexpected SDC pattern: a=%#x b=%#x", gotA, gotB)
+	}
+}
+
+// TestTemporalAliasingEliminatedBy8Pairs: Sec. 4.7/4.11 — with 8 register
+// pairs (one per class) the two faults land in different pairs and are
+// each corrected exactly.
+func TestTemporalAliasingEliminatedBy8Pairs(t *testing.T) {
+	h := newHarness(t, FullCorrectionConfig())
+	a := h.rowAddr(0, 0)
+	b := h.rowAddr(1, 0)
+	h.store(a, 0)
+	h.store(b, 0)
+	h.flip(a, 1<<56)
+	h.flip(b, 1<<8)
+	rep := h.recoverAt(a)
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got, _ := h.load(a); got != 0 {
+		t.Fatalf("a = %#x, want 0", got)
+	}
+	if got, _ := h.load(b); got != 0 {
+		t.Fatalf("b = %#x, want 0", got)
+	}
+}
+
+// TestCheckBitFaultRepaired: a fault in the stored parity bits themselves
+// is recognized (the data matches the registers) and the check bits are
+// rewritten.
+func TestCheckBitFaultRepaired(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	h.store(0x20, 0x1234)
+	set, way, word, _ := h.locate(0x20)
+	h.c.FlipCheckBits(set, way, word, 0b101)
+	if _, syn := h.load(0x20); syn == 0 {
+		t.Fatal("check-bit fault undetected")
+	}
+	rep := h.recoverAt(0x20)
+	if rep.Outcome != OutcomeCorrected || rep.Method != "check-bits" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got, syn := h.load(0x20); got != 0x1234 || syn != 0 {
+		t.Fatalf("after repair: %#x syn %#x", got, syn)
+	}
+	if h.e.Events.CorrectedCheck != 1 {
+		t.Fatalf("CorrectedCheck = %d", h.e.Events.CorrectedCheck)
+	}
+}
+
+// TestOddMultiBitSingleWord: the basic CPPC corrects any odd number of
+// flips confined to one dirty word (Sec. 3.4) — and, because recovery
+// rebuilds the whole word, even numbers too once another stripe detects.
+func TestOddMultiBitSingleWord(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	h.store(0x60, 0xdeadbeef)
+	h.flip(0x60, 1|1<<9|1<<18|1<<27|1<<36) // 5 flips, stripes 0,1,2,3,4
+	rep := h.recoverAt(0x60)
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got, _ := h.load(0x60); got != 0xdeadbeef {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+// TestFaultAcrossPairsRecoversBoth: faults in two granules protected by
+// different pairs are both repaired in a single recovery run.
+func TestFaultAcrossPairsRecoversBoth(t *testing.T) {
+	h := newHarness(t, Config{ParityDegree: 8, RegisterPairs: 4, ByteShifting: true})
+	a := h.rowAddr(0, 0) // class 0 -> pair 0
+	b := h.rowAddr(3, 0) // class 3 -> pair 1
+	h.store(a, 0x1111)
+	h.store(b, 0x2222)
+	h.flip(a, 1<<7)
+	h.flip(b, 1<<13)
+	rep := h.recoverAt(a)
+	if rep.Outcome != OutcomeCorrected || len(rep.Faulty) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got, _ := h.load(a); got != 0x1111 {
+		t.Fatalf("a = %#x", got)
+	}
+	if got, _ := h.load(b); got != 0x2222 {
+		t.Fatalf("b = %#x", got)
+	}
+}
+
+// TestDistanceOver8IsDUE: step 5 of the recovery procedure — shared faulty
+// stripes in rows more than 8 apart exceed the correction range.
+func TestDistanceOver8IsDUE(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	h.store(h.rowAddr(0, 0), 1)
+	h.store(h.rowAddr(8, 0), 2) // distance 8: same class, out of range
+	h.flip(h.rowAddr(0, 0), 1<<5)
+	h.flip(h.rowAddr(8, 0), 1<<5)
+	rep := h.recoverAt(h.rowAddr(0, 0))
+	if rep.Outcome != OutcomeDUE {
+		t.Fatalf("distance-8 same-stripe fault unexpectedly %v", rep.Outcome)
+	}
+}
+
+// TestRecoveryOnCleanedGranuleIsNoop: if the triggering granule was
+// evicted or cleaned between detection and recovery, the procedure is a
+// no-op instead of corrupting state.
+func TestRecoveryOnCleanedGranuleIsNoop(t *testing.T) {
+	h := newHarness(t, DefaultL1Config())
+	h.store(0x10, 7)
+	set, way, _, g := h.locate(0x10)
+	h.e.OnRemoveDirty(set, way, g) // granule no longer dirty
+	rep := h.e.RecoverDirty(set, way, g)
+	if rep.Outcome != OutcomeCorrected || rep.Method != "none" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestL2BlockGranuleRecovery: the L2 CPPC with block-sized registers
+// recovers a fault in a dirty block.
+func TestL2BlockGranuleRecovery(t *testing.T) {
+	h := newL2Harness(t, DefaultL2Config())
+	want := []uint64{0x11, 0x22, 0x33, 0x44}
+	h.storeBlock(0x100, want)
+	h.storeBlock(0x200, []uint64{9, 9, 9, 9})
+	set, way, _, _ := h.locate(0x100)
+	h.c.FlipBits(set, way, 2, 1<<11) // word 2 of the block
+	rep := h.e.RecoverDirty(set, way, 0)
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	for j, w := range want {
+		if got := h.c.Line(set, way).Data[j]; got != w {
+			t.Fatalf("word %d = %#x, want %#x", j, got, w)
+		}
+	}
+}
+
+// TestL2VerticalMBERecovery: vertical fault across two adjacent L2 blocks
+// (different rotation classes), corrected by byte shifting at block width.
+func TestL2VerticalMBERecovery(t *testing.T) {
+	h := newL2Harness(t, DefaultL2Config())
+	a := []uint64{0xa0, 0xa1, 0xa2, 0xa3}
+	b := []uint64{0xb0, 0xb1, 0xb2, 0xb3}
+	h.storeBlock(0x000, a) // row 0
+	h.storeBlock(0x020, b) // row 1
+	s0, w0, _, _ := h.locate(0x000)
+	s1, w1, _, _ := h.locate(0x020)
+	h.c.FlipBits(s0, w0, 1, 1<<4) // word 1, bit 4 of both rows
+	h.c.FlipBits(s1, w1, 1, 1<<4)
+	rep := h.e.RecoverDirty(s0, w0, 0)
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	for j := range a {
+		if got := h.c.Line(s0, w0).Data[j]; got != a[j] {
+			t.Fatalf("block a word %d = %#x", j, got)
+		}
+		if got := h.c.Line(s1, w1).Data[j]; got != b[j] {
+			t.Fatalf("block b word %d = %#x", j, got)
+		}
+	}
+}
+
+// TestRandomSpatialSquares exercises the locator over random square
+// faults up to 8x8 anchored at random positions, with two register pairs
+// (the Sec. 4.6 recommended configuration): everything inside an 8x8
+// square must be corrected.
+func TestRandomSpatialSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		h := newHarness(t, Config{ParityDegree: 8, RegisterPairs: 2, ByteShifting: true})
+		// Make every word of rows 0-11 dirty with random data.
+		want := map[uint64]uint64{}
+		for r := 0; r < 12; r++ {
+			for w := 0; w < 4; w++ {
+				addr := h.rowAddr(r, w)
+				v := rng.Uint64()
+				want[addr] = v
+				h.store(addr, v)
+			}
+		}
+		hgt := 1 + rng.Intn(8)
+		wid := 1 + rng.Intn(8)
+		if hgt == 1 && wid == 1 {
+			wid = 2
+		}
+		row0 := rng.Intn(12 - hgt + 1)
+		col0 := rng.Intn(h.c.Geom.RowBits() - wid + 1)
+		// Inject the square.
+		touched := map[uint64]bool{}
+		for dr := 0; dr < hgt; dr++ {
+			for dc := 0; dc < wid; dc++ {
+				bc := col0 + dc
+				addr := h.rowAddr(row0+dr, bc/64)
+				h.flip(addr, 1<<uint(bc%64))
+				touched[addr] = true
+			}
+		}
+		// Trigger recovery from the first touched word.
+		var first uint64
+		for addr := range touched {
+			first = addr
+			break
+		}
+		rep := h.recoverAt(first)
+		if rep.Outcome != OutcomeCorrected {
+			t.Fatalf("trial %d: %dx%d at (%d,%d): %+v", trial, hgt, wid, row0, col0, rep)
+		}
+		for addr, v := range want {
+			if got, syn := h.load(addr); got != v || syn != 0 {
+				t.Fatalf("trial %d: addr %#x = %#x (syn %#x), want %#x", trial, addr, got, syn, v)
+			}
+		}
+	}
+}

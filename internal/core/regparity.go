@@ -1,0 +1,67 @@
+package core
+
+import "cppc/internal/bitops"
+
+// Sec. 4.9 asks what happens when R1 or R2 themselves take a hit, and
+// sketches the answer implemented here: protect the registers with parity
+// bits, check them whenever the registers are read (i.e. at the start of
+// every recovery), and on a mismatch rebuild the register state from the
+// dirty data in the cache — valid provided no dirty word is
+// simultaneously faulty.
+
+// EnableRegisterParity turns on register self-checking. Parity is
+// (re)computed over the current register contents; subsequent folds keep
+// it current.
+func (e *Engine) EnableRegisterParity() {
+	e.regParity = true
+	e.reencodeRegisterParity()
+}
+
+// reencodeRegisterParity recomputes the stored parity for all registers.
+func (e *Engine) reencodeRegisterParity() {
+	e.r1Par = make([][]uint64, len(e.r1))
+	e.r2Par = make([][]uint64, len(e.r2))
+	for p := range e.r1 {
+		e.r1Par[p] = make([]uint64, e.granuleWords)
+		e.r2Par[p] = make([]uint64, e.granuleWords)
+		for j := range e.r1[p] {
+			e.r1Par[p][j] = bitops.Parity(e.r1[p][j], e.Cfg.ParityDegree)
+			e.r2Par[p][j] = bitops.Parity(e.r2[p][j], e.Cfg.ParityDegree)
+		}
+	}
+}
+
+// RegisterParityOK verifies every register against its stored parity.
+func (e *Engine) RegisterParityOK() bool {
+	if !e.regParity {
+		return true
+	}
+	for p := range e.r1 {
+		for j := range e.r1[p] {
+			if e.r1Par[p][j] != bitops.Parity(e.r1[p][j], e.Cfg.ParityDegree) {
+				return false
+			}
+			if e.r2Par[p][j] != bitops.Parity(e.r2[p][j], e.Cfg.ParityDegree) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkRegistersBeforeRecovery is called at the start of every recovery:
+// a corrupted register would silently produce a wrong reconstruction, so
+// it must be caught first. Scrubbing rebuilds the register state from the
+// cache's dirty data (Sec. 4.9: "it can be recovered by XORing all the
+// dirty words of the cache provided there is no fault in the dirty words
+// of the cache") — and since the triggering granule *is* faulty, recovery
+// after a register fault plus a data fault is declared a DUE.
+func (e *Engine) checkRegistersBeforeRecovery() bool {
+	if !e.regParity || e.RegisterParityOK() {
+		return true
+	}
+	e.Events.RegisterScrubs++
+	e.ScrubRegisters()
+	e.reencodeRegisterParity()
+	return false
+}

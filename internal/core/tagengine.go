@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"cppc/internal/bitops"
+	"cppc/internal/cache"
+)
+
+// TagEngine extends the CPPC idea to the cache tag array — the paper's
+// Sec. 7 future-work item: "For the tags, the concept of dirty vs. clean
+// data does not exist. Read-before-write operations are not needed. Tags
+// are read-only until they are replaced."
+//
+// T1 accumulates the (rotated) tag of every line installed; T2 the tag of
+// every line removed (replacement or invalidation). T1 ^ T2 is therefore
+// the XOR of all currently valid tags, and a tag whose parity check fails
+// is rebuilt by XORing T1, T2 and every other valid tag. Rotation classes
+// and register pairs work exactly as for data, covering spatial MBEs in
+// the tag array.
+type TagEngine struct {
+	Cfg Config
+	C   *cache.Cache
+
+	t1, t2 [][]uint64 // [pair][0]: tags fit one word
+
+	// check holds the per-line tag parity bits, indexed [set][way].
+	check [][]uint64
+
+	Events Events
+}
+
+// NewTagEngine attaches tag protection to c.
+func NewTagEngine(c *cache.Cache, cfg Config) (*TagEngine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &TagEngine{Cfg: cfg, C: c}
+	e.t1 = make([][]uint64, cfg.RegisterPairs)
+	e.t2 = make([][]uint64, cfg.RegisterPairs)
+	for p := range e.t1 {
+		e.t1[p] = make([]uint64, 1)
+		e.t2[p] = make([]uint64, 1)
+	}
+	e.check = make([][]uint64, c.Cfg.Sets())
+	for s := range e.check {
+		e.check[s] = make([]uint64, c.Cfg.Ways)
+	}
+	return e, nil
+}
+
+// MustNewTagEngine is NewTagEngine that panics on config errors.
+func MustNewTagEngine(c *cache.Cache, cfg Config) *TagEngine {
+	e, err := NewTagEngine(c, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// classOf maps a line to its rotation class: the physical row of its
+// first data word stands in for the tag entry's row (tag and data arrays
+// share the row structure).
+func (e *TagEngine) classOf(set, way int) int { return e.C.Geom.ClassOf(set, way, 0) }
+
+// foldTag XORs a rotated tag into a register.
+func (e *TagEngine) foldTag(reg [][]uint64, set, way int, tag uint64) {
+	class := e.classOf(set, way)
+	reg[e.Cfg.PairOf(class)][0] ^= bitops.RotrBytes(tag, e.Cfg.RotationOf(class))
+	e.Events.Folds++
+}
+
+// OnInstall records a line installation: oldValid/oldTag describe the
+// previous occupant (folded out through T2), tag the new one (into T1).
+// Call after the cache's Install. The tag parity is (re)encoded.
+func (e *TagEngine) OnInstall(set, way int, oldValid bool, oldTag, tag uint64) {
+	if oldValid {
+		e.foldTag(e.t2, set, way, oldTag)
+	}
+	e.foldTag(e.t1, set, way, tag)
+	e.EncodeTag(set, way)
+}
+
+// OnInvalidate records a line leaving without replacement.
+func (e *TagEngine) OnInvalidate(set, way int, tag uint64) {
+	e.foldTag(e.t2, set, way, tag)
+}
+
+// EncodeTag recomputes the stored tag parity for a line.
+func (e *TagEngine) EncodeTag(set, way int) {
+	e.check[set][way] = bitops.Parity(e.C.Line(set, way).Tag, e.Cfg.ParityDegree)
+}
+
+// TagSyndrome returns the disagreeing parity stripes for a line's tag.
+func (e *TagEngine) TagSyndrome(set, way int) uint64 {
+	return e.check[set][way] ^ bitops.Parity(e.C.Line(set, way).Tag, e.Cfg.ParityDegree)
+}
+
+// FlipTagBits injects a fault into a stored tag.
+func (e *TagEngine) FlipTagBits(set, way int, mask uint64) {
+	e.C.Line(set, way).Tag ^= mask
+}
+
+// CheckInvariant verifies T1 ^ T2 against a sweep of the valid tags.
+func (e *TagEngine) CheckInvariant() error {
+	acc := make([]uint64, e.Cfg.RegisterPairs)
+	e.C.ForEachValid(func(set, way int, ln *cache.Line) {
+		class := e.classOf(set, way)
+		acc[e.Cfg.PairOf(class)] ^= bitops.RotrBytes(ln.Tag, e.Cfg.RotationOf(class))
+	})
+	for p := 0; p < e.Cfg.RegisterPairs; p++ {
+		if got := e.t1[p][0] ^ e.t2[p][0]; got != acc[p] {
+			return errTagInvariant{pair: p, reg: got, sweep: acc[p]}
+		}
+	}
+	return nil
+}
+
+type errTagInvariant struct {
+	pair       int
+	reg, sweep uint64
+}
+
+func (e errTagInvariant) Error() string {
+	return fmt.Sprintf("tagcppc: pair %d registers %#x, tag sweep %#x", e.pair, e.reg, e.sweep)
+}
+
+// RecoverTag rebuilds a faulty tag (detected via TagSyndrome) from the
+// registers and every other valid tag. Multi-tag faults follow the same
+// paths as data recovery in miniature: a single faulty tag per pair is
+// rebuilt directly; anything else is a DUE (tags have no locator in the
+// paper's sketch).
+func (e *TagEngine) RecoverTag(set, way int) Report {
+	e.Events.Recoveries++
+	acc := make([]uint64, e.Cfg.RegisterPairs)
+	type ref struct{ set, way int }
+	var faulty []ref
+	e.C.ForEachValid(func(s, w int, ln *cache.Line) {
+		e.Events.SweptGranules++
+		class := e.classOf(s, w)
+		acc[e.Cfg.PairOf(class)] ^= bitops.RotrBytes(ln.Tag, e.Cfg.RotationOf(class))
+		if e.TagSyndrome(s, w) != 0 {
+			faulty = append(faulty, ref{s, w})
+		}
+	})
+	rep := Report{Outcome: OutcomeCorrected, Method: "tag"}
+	byPair := map[int][]ref{}
+	for _, f := range faulty {
+		p := e.Cfg.PairOf(e.classOf(f.set, f.way))
+		byPair[p] = append(byPair[p], f)
+		rep.Faulty = append(rep.Faulty, GranuleRef{f.set, f.way, 0})
+	}
+	for p, fs := range byPair {
+		if len(fs) != 1 {
+			rep.Outcome = OutcomeDUE
+			e.Events.DUEs++
+			continue
+		}
+		f := fs[0]
+		class := e.classOf(f.set, f.way)
+		residue := e.t1[p][0] ^ e.t2[p][0] ^ acc[p]
+		mask := bitops.RotlBytes(residue, e.Cfg.RotationOf(class))
+		if mask == 0 {
+			// Tag intact; the stored parity bits were hit.
+			e.EncodeTag(f.set, f.way)
+			e.Events.CorrectedCheck++
+			continue
+		}
+		e.C.Line(f.set, f.way).Tag ^= mask
+		if e.TagSyndrome(f.set, f.way) != 0 {
+			rep.Outcome = OutcomeDUE
+			e.Events.DUEs++
+			continue
+		}
+		e.Events.CorrectedSingle++
+	}
+	return rep
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cppc/internal/cache"
+)
+
+// tagHarness drives a cache + TagEngine through installs and
+// invalidations the way a controller would.
+type tagHarness struct {
+	t   *testing.T
+	c   *cache.Cache
+	e   *TagEngine
+	mem *cache.Memory
+}
+
+func newTagHarness(t *testing.T, cfg Config) *tagHarness {
+	t.Helper()
+	ccfg, err := cache.Config{
+		Name: "tagtest", SizeBytes: 1024, Ways: 2, BlockBytes: 32,
+		DirtyGranuleWords: 1, HitLatencyCycles: 2,
+	}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New(ccfg)
+	return &tagHarness{t: t, c: c, e: MustNewTagEngine(c, cfg), mem: cache.NewMemory(32, 100)}
+}
+
+// touch brings addr into the cache through the tag engine's hooks.
+func (h *tagHarness) touch(addr uint64) {
+	set, way := h.c.Probe(addr)
+	if way >= 0 {
+		h.c.Touch(set, way)
+		return
+	}
+	way = h.c.Victim(set)
+	ln := h.c.Line(set, way)
+	oldValid, oldTag := ln.Valid, ln.Tag
+	buf := make([]uint64, h.c.Cfg.BlockWords())
+	h.mem.FetchBlock(addr, buf, 0)
+	h.c.Install(set, way, addr, buf)
+	h.e.OnInstall(set, way, oldValid, oldTag, h.c.Line(set, way).Tag)
+}
+
+func TestTagInvariantUnderChurn(t *testing.T) {
+	h := newTagHarness(t, DefaultL1Config())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		h.touch(uint64(rng.Intn(4096)) * 32) // 128KB over a 1KB cache: heavy churn
+	}
+	if err := h.e.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagInvalidateMaintainsInvariant(t *testing.T) {
+	h := newTagHarness(t, DefaultL1Config())
+	h.touch(0x40)
+	set, way := h.c.Probe(0x40)
+	h.e.OnInvalidate(set, way, h.c.Line(set, way).Tag)
+	h.c.Invalidate(set, way)
+	if err := h.e.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSingleBitRecovery(t *testing.T) {
+	h := newTagHarness(t, DefaultL1Config())
+	// Consecutive blocks fill distinct sets, so nothing evicts.
+	for i := 0; i < 16; i++ {
+		h.touch(uint64(i) * 32)
+	}
+	set, way := h.c.Probe(3 * 32)
+	want := h.c.Line(set, way).Tag
+	h.e.FlipTagBits(set, way, 1<<9)
+	if h.e.TagSyndrome(set, way) == 0 {
+		t.Fatal("tag fault undetected")
+	}
+	rep := h.e.RecoverTag(set, way)
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := h.c.Line(set, way).Tag; got != want {
+		t.Fatalf("tag = %#x, want %#x", got, want)
+	}
+	if h.e.TagSyndrome(set, way) != 0 {
+		t.Fatal("syndrome after recovery")
+	}
+}
+
+func TestTagMultiBitSingleEntryRecovery(t *testing.T) {
+	h := newTagHarness(t, DefaultL1Config())
+	for i := 0; i < 8; i++ {
+		h.touch(uint64(i) * 32)
+	}
+	set, way := h.c.Probe(5 * 32)
+	want := h.c.Line(set, way).Tag
+	h.e.FlipTagBits(set, way, 0b111) // 3 bits, distinct stripes
+	rep := h.e.RecoverTag(set, way)
+	if rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := h.c.Line(set, way).Tag; got != want {
+		t.Fatalf("tag = %#x, want %#x", got, want)
+	}
+}
+
+func TestTagCheckBitFault(t *testing.T) {
+	h := newTagHarness(t, DefaultL1Config())
+	h.touch(0x40)
+	set, way := h.c.Probe(0x40)
+	h.e.check[set][way] ^= 0b10
+	rep := h.e.RecoverTag(set, way)
+	if rep.Outcome != OutcomeCorrected || h.e.Events.CorrectedCheck != 1 {
+		t.Fatalf("report = %+v events = %+v", rep, h.e.Events)
+	}
+}
+
+func TestTagTwoFaultsSamePairIsDUE(t *testing.T) {
+	// One register pair: two simultaneously faulty tags cannot both be
+	// rebuilt (no tag locator).
+	h := newTagHarness(t, Config{ParityDegree: 8, RegisterPairs: 1, ByteShifting: false})
+	for i := 0; i < 8; i++ {
+		h.touch(uint64(i) * 32)
+	}
+	s1, w1 := h.c.Probe(1 * 32)
+	s2, w2 := h.c.Probe(2 * 32)
+	h.e.FlipTagBits(s1, w1, 1<<3)
+	h.e.FlipTagBits(s2, w2, 1<<4)
+	if rep := h.e.RecoverTag(s1, w1); rep.Outcome != OutcomeDUE {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestTagTwoFaultsDifferentPairsRecovered(t *testing.T) {
+	// Eight pairs: entries in different rotation classes recover
+	// independently, like data granules.
+	h := newTagHarness(t, FullCorrectionConfig())
+	for i := 0; i < 16; i++ {
+		h.touch(uint64(i) * 32)
+	}
+	// Two entries in different sets => different rows => different pairs.
+	s1, w1 := h.c.Probe(1 * 32)
+	s2, w2 := h.c.Probe(4 * 32)
+	if h.e.classOf(s1, w1) == h.e.classOf(s2, w2) {
+		t.Skip("picked entries share a class; layout changed")
+	}
+	want1, want2 := h.c.Line(s1, w1).Tag, h.c.Line(s2, w2).Tag
+	h.e.FlipTagBits(s1, w1, 1<<3)
+	h.e.FlipTagBits(s2, w2, 1<<7)
+	if rep := h.e.RecoverTag(s1, w1); rep.Outcome != OutcomeCorrected {
+		t.Fatalf("report = %+v", rep)
+	}
+	if h.c.Line(s1, w1).Tag != want1 || h.c.Line(s2, w2).Tag != want2 {
+		t.Fatal("tags not both restored")
+	}
+}
+
+func TestTagEngineRejectsBadConfig(t *testing.T) {
+	c := cache.New(cache.L1DConfig())
+	if _, err := NewTagEngine(c, Config{ParityDegree: 5, RegisterPairs: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestTagInvariantErrorMessage(t *testing.T) {
+	h := newTagHarness(t, DefaultL1Config())
+	h.touch(0x40)
+	h.e.t1[0][0] ^= 0xff
+	err := h.e.CheckInvariant()
+	if err == nil || err.Error() == "" {
+		t.Fatal("corrupted register not reported")
+	}
+}

@@ -1,0 +1,429 @@
+// Package cpu is the timing substrate standing in for SimpleScalar's
+// sim-outorder (Sec. 6, Table 1): a timestamp-based out-of-order core
+// model with a 4-wide front end, a 64-entry RUU, a 16-entry LSQ, the
+// Table 1 functional-unit pool, and — the part the paper's Fig. 10 hinges
+// on — an L1 data cache with one read port and one write port whose
+// contention is modeled cycle-accurately:
+//
+//   - loads occupy the read port;
+//   - stores occupy the write port;
+//   - a CPPC store to a dirty word *steals* a read-port cycle for its
+//     read-before-write: the store does not wait for it (Sec. 3.1's
+//     store-buffer/scheduler coordination), but later loads see the port
+//     busy;
+//   - a two-dimensional-parity store must *complete* its read-before-write
+//     before writing, and a miss fill must first read the whole victim
+//     line through the read port (Sec. 2) — both delay the pipeline.
+//
+// Instruction timestamps are computed in program order with in-order
+// commit pressure from the RUU and LSQ, which reproduces the first-order
+// behaviour of an event-driven OoO pipeline at a fraction of the cost.
+package cpu
+
+import (
+	"cppc/internal/protect"
+	"cppc/internal/trace"
+)
+
+// Config mirrors the paper's Table 1 processor.
+type Config struct {
+	IssueWidth int // instructions per cycle
+	RUUSize    int
+	LSQSize    int
+
+	IntALU, IntMul, FPALU, FPMul int
+
+	BranchMissPenalty int // front-end flush cycles
+
+	// SinglePorted merges the L1 read and write ports (the Sec. 7
+	// future-work evaluation): every load, store, fill and
+	// read-before-write contends for one port.
+	SinglePorted bool
+
+	FreqHz float64
+}
+
+// Table1Config returns the evaluated processor: 4-wide, RUU 64, LSQ 16,
+// 4 int ALUs + 1 int mul, 4 FP ALUs + 1 FP mul, 3 GHz.
+func Table1Config() Config {
+	return Config{
+		IssueWidth: 4, RUUSize: 64, LSQSize: 16,
+		IntALU: 4, IntMul: 1, FPALU: 4, FPMul: 1,
+		BranchMissPenalty: 12,
+		FreqHz:            3e9,
+	}
+}
+
+// latencies per op class (execute stage), in cycles.
+func opLatency(op trace.Op) int {
+	switch op {
+	case trace.OpInt, trace.OpBranch:
+		return 1
+	case trace.OpIntMul:
+		return 3
+	case trace.OpFP:
+		return 2
+	case trace.OpFPMul:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// fuPool models k identical units by tracking each unit's next-free cycle.
+type fuPool struct{ free []uint64 }
+
+func newPool(k int) *fuPool { return &fuPool{free: make([]uint64, k)} }
+
+// acquire reserves the earliest-available unit at or after t for d cycles,
+// returning the start cycle.
+func (p *fuPool) acquire(t uint64, d int) uint64 {
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
+		}
+	}
+	start := t
+	if p.free[best] > start {
+		start = p.free[best]
+	}
+	p.free[best] = start + uint64(d)
+	return start
+}
+
+// port models a single cache port as a next-free-cycle counter with a
+// cycle-stealing side channel. Demand traffic (loads, 2D-parity
+// read-before-writes) reserves slots and waits; CPPC's read-before-write
+// *steals* slots: stolen work accumulates as debt that drains in the
+// port's idle gaps (the Sec. 3.1 store-buffer/scheduler coordination) and
+// only delays demand traffic once the store buffer backs up.
+type port struct {
+	free uint64 // next cycle free for demand traffic
+	debt uint64 // pending stolen cycles
+	cap  uint64 // store-buffer depth before stolen work stalls demand
+}
+
+// reserve takes the port at or after t for d cycles, returning the start.
+// Idle gaps first drain stolen debt; overflowing debt stalls the demand
+// access.
+func (p *port) reserve(t uint64, d int) uint64 {
+	if t > p.free {
+		gap := t - p.free
+		if p.debt <= gap {
+			p.debt = 0
+		} else {
+			p.debt -= gap
+		}
+	}
+	start := t
+	if p.free > start {
+		start = p.free
+	}
+	if p.cap > 0 && p.debt > p.cap {
+		start += p.debt - p.cap
+		p.debt = p.cap
+	}
+	p.free = start + uint64(d)
+	return start
+}
+
+// steal queues d cycles of background work on the port without waiting.
+func (p *port) steal(d int) { p.debt += uint64(d) }
+
+// Result summarizes one run.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	CPI          float64
+	Loads        uint64
+	Stores       uint64
+	Halted       bool // a DUE occurred
+}
+
+// Core runs instruction streams against a data-cache controller.
+type Core struct {
+	Cfg Config
+	D   *protect.Controller // L1 data cache controller
+
+	readPort, writePort *port
+	intALU, intMul      *fuPool
+	fpALU, fpMul        *fuPool
+
+	// completion times of recent instructions, for dependencies (ring).
+	done []uint64
+	// ruuRing[i % RUUSize] is the completion time of instruction i; a new
+	// instruction cannot dispatch until the instruction RUUSize back has
+	// completed (in-order commit pressure).
+	ruuRing []uint64
+	lsqRing []uint64
+	memIdx  uint64 // count of memory instructions (LSQ ring index)
+
+	fetchReady uint64 // earliest fetch cycle for the next instruction
+	slot       int    // issue slots used in the current fetch cycle
+
+	// Optional instruction-side model (Table 1's 16KB L1I): the front end
+	// fetches 4-byte instructions; crossing into a new 32-byte block costs
+	// an I-cache access, and an I-miss stalls fetch.
+	ic         *protect.Controller
+	codeBytes  uint64
+	pc         uint64
+	regionBase uint64 // current hot function's entry
+	lastIBlock uint64
+	lcg        uint64 // deterministic branch-target scrambler
+}
+
+// NewCore wires a core to a data-cache controller.
+func NewCore(cfg Config, d *protect.Controller) *Core {
+	rp := &port{cap: 2} // a small store buffer absorbs stolen reads
+	wp := &port{cap: 8}
+	if cfg.SinglePorted {
+		wp = rp // all traffic through one port
+	}
+	return &Core{
+		Cfg: cfg, D: d,
+		readPort:  rp,
+		writePort: wp,
+		intALU:    newPool(cfg.IntALU),
+		intMul:    newPool(cfg.IntMul),
+		fpALU:     newPool(cfg.FPALU),
+		fpMul:     newPool(cfg.FPMul),
+		done:      make([]uint64, 4096),
+		ruuRing:   make([]uint64, cfg.RUUSize),
+		lsqRing:   make([]uint64, cfg.LSQSize),
+	}
+}
+
+// Run executes n instructions from src (a synthetic generator or a
+// recorded trace) and returns timing results.
+func (c *Core) Run(src trace.Source, n int) Result {
+	var res Result
+	var lastDone uint64
+	for i := uint64(0); i < uint64(n); i++ {
+		in := src.Next()
+		t := c.dispatch(i, in)
+		done := c.execute(i, in, t, &res)
+		c.done[i%uint64(len(c.done))] = done
+		c.ruuRing[i%uint64(len(c.ruuRing))] = done
+		if done > lastDone {
+			lastDone = done
+		}
+		if c.D.Halted {
+			res.Halted = true
+			break
+		}
+	}
+	res.Instructions = uint64(n)
+	res.Cycles = lastDone
+	if res.Instructions > 0 {
+		res.CPI = float64(res.Cycles) / float64(res.Instructions)
+	}
+	return res
+}
+
+// SetICache attaches an instruction cache to the front end. codeBytes is
+// the static code footprint branch targets scatter over.
+func (c *Core) SetICache(ic *protect.Controller, codeBytes int) {
+	c.ic = ic
+	c.codeBytes = uint64(codeBytes)
+	c.lastIBlock = ^uint64(0)
+	c.lcg = 0x9e3779b97f4a7c15
+}
+
+// fetchInstruction models the instruction-side access for one dynamic
+// instruction and charges any I-miss latency to the front end.
+func (c *Core) fetchInstruction(in trace.Instr) {
+	if c.ic == nil {
+		return
+	}
+	const hotFnBytes = 1024 // hot-function size: near branches stay inside
+	c.pc += 4
+	if in.Op == trace.OpBranch {
+		// Roughly half of branches are taken. Most taken branches are
+		// loops within the current hot function; a few are far calls to
+		// another hot function. Deterministic (no wall-clock randomness).
+		c.lcg = c.lcg*6364136223846793005 + 1442695040888963407
+		if c.lcg&1 == 0 {
+			if (c.lcg>>1)&0xf != 0 {
+				// Loop: anywhere inside the current function.
+				c.pc = c.regionBase + ((c.lcg>>16)%hotFnBytes)&^3
+			} else {
+				// Far call: one of 8 hot functions, staggered so they do
+				// not alias at power-of-two strides in a direct-mapped
+				// I-cache.
+				region := (c.lcg >> 8) % 8
+				c.regionBase = (region*(c.codeBytes/8) + region*2056) % c.codeBytes
+				c.pc = c.regionBase
+			}
+		}
+	}
+	if c.pc >= c.codeBytes {
+		c.pc = c.regionBase
+	}
+	iblock := c.pc &^ 31
+	if iblock == c.lastIBlock {
+		return
+	}
+	c.lastIBlock = iblock
+	res := c.ic.Load(iblock, c.fetchReady)
+	if !res.Hit {
+		// The front end stalls for the refill.
+		c.fetchReady += uint64(res.Latency)
+		c.slot = 0
+	}
+}
+
+// dispatch computes the cycle at which instruction i can begin execution,
+// honoring fetch width, RUU/LSQ occupancy and data dependencies.
+func (c *Core) dispatch(i uint64, in trace.Instr) uint64 {
+	c.fetchInstruction(in)
+	// Fetch-width constraint: IssueWidth instructions per cycle.
+	if c.slot == c.Cfg.IssueWidth {
+		c.fetchReady++
+		c.slot = 0
+	}
+	c.slot++
+	t := c.fetchReady
+
+	// RUU occupancy: the slot of instruction i-RUUSize must have drained.
+	if i >= uint64(len(c.ruuRing)) {
+		if d := c.ruuRing[i%uint64(len(c.ruuRing))]; d > t {
+			t = d
+		}
+	}
+	// LSQ occupancy for memory ops.
+	if in.Op == trace.OpLoad || in.Op == trace.OpStore {
+		if c.memIdx >= uint64(len(c.lsqRing)) {
+			if d := c.lsqRing[c.memIdx%uint64(len(c.lsqRing))]; d > t {
+				t = d
+			}
+		}
+	}
+	// Data dependencies.
+	for _, dep := range []int{in.Dep1, in.Dep2} {
+		if dep > 0 && uint64(dep) <= i {
+			if d := c.done[(i-uint64(dep))%uint64(len(c.done))]; d > t {
+				t = d
+			}
+		}
+	}
+	return t
+}
+
+// execute models the execute/memory stage and returns completion time.
+func (c *Core) execute(i uint64, in trace.Instr, t uint64, res *Result) uint64 {
+	var done uint64
+	switch in.Op {
+	case trace.OpLoad:
+		res.Loads++
+		// A 2D-parity miss must read the victim line out through the read
+		// port before the fill (Sec. 2).
+		start := c.readPort.reserve(t, 1+c.loadMissLineRead(in.Addr))
+		r := c.D.Load(in.Addr, start)
+		if !r.Hit {
+			// The refill occupies the write port once it returns.
+			c.writePort.steal(1)
+		}
+		done = start + uint64(r.Latency)
+		c.lsqRing[c.memIdx%uint64(len(c.lsqRing))] = done
+		c.memIdx++
+	case trace.OpStore:
+		res.Stores++
+		// Stores drain from the store buffer after commit: their port
+		// activity does not lengthen the instruction's completion, but it
+		// does occupy the ports (delaying loads) and the LSQ entry stays
+		// allocated until the store drains (backpressure).
+		drain := t
+		needsWait, rbwWords := c.storePortPlan(in.Addr)
+		if rbwWords > 0 {
+			if needsWait {
+				// Two-dimensional parity: the write cannot start until
+				// its read-before-write completes on the read port.
+				drain = c.readPort.reserve(drain, rbwWords) + uint64(rbwWords)
+			} else {
+				// CPPC: cycle stealing — queue the read, don't wait.
+				c.readPort.steal(rbwWords)
+			}
+		}
+		drain = c.writePort.reserve(drain, 1)
+		r := c.D.Store(in.Addr, i, drain) // stored value is arbitrary for timing
+		done = t + 1
+		c.lsqRing[c.memIdx%uint64(len(c.lsqRing))] = drain + uint64(r.Latency-c.D.C.Cfg.HitLatencyCycles) + 1
+		c.memIdx++
+	case trace.OpBranch:
+		start := c.intALU.acquire(t, 1)
+		done = start + 1
+		if in.Mispredict {
+			// Flush: the front end restarts after the penalty.
+			if nf := done + uint64(c.Cfg.BranchMissPenalty); nf > c.fetchReady {
+				c.fetchReady = nf
+				c.slot = 0
+			}
+		}
+	case trace.OpInt:
+		start := c.intALU.acquire(t, 1)
+		done = start + uint64(opLatency(in.Op))
+	case trace.OpIntMul:
+		start := c.intMul.acquire(t, opLatency(in.Op))
+		done = start + uint64(opLatency(in.Op))
+	case trace.OpFP:
+		start := c.fpALU.acquire(t, 1)
+		done = start + uint64(opLatency(in.Op))
+	case trace.OpFPMul:
+		start := c.fpMul.acquire(t, opLatency(in.Op))
+		done = start + uint64(opLatency(in.Op))
+	}
+	return done
+}
+
+// storePortPlan inspects the cache state to decide the store's
+// read-before-write behaviour *before* the store executes: whether the
+// store must wait for the read (two-dimensional parity) and how many
+// read-port word-slots it needs. A miss with a whole-line read (2D parity
+// fill) books the line read too.
+func (c *Core) storePortPlan(addr uint64) (wait bool, words int) {
+	set, way := c.D.C.Probe(addr)
+	hit := way >= 0
+	switch c.D.Scheme.Kind() {
+	case protect.KindCPPC:
+		if hit {
+			_, _, word := c.D.C.Decompose(addr)
+			g := word / c.D.C.Cfg.DirtyGranuleWords
+			if c.D.C.Line(set, way).Dirty[g] {
+				return false, 1
+			}
+		}
+		return false, 0
+	case protect.KindTwoDim:
+		words = 1
+		if !hit {
+			// Miss under 2D parity: the victim line must be read out.
+			// The data array reads a whole row per access, so this is one
+			// extra port cycle (its energy is a full line, accounted in
+			// Stats.RBWOnMissLines).
+			vict := c.D.C.Victim(set)
+			if c.D.C.Line(set, vict).Valid {
+				words++
+			}
+		}
+		return true, words
+	default:
+		return false, 0
+	}
+}
+
+// loadMissLineRead accounts the whole-line victim read 2D parity pays on
+// load misses.
+func (c *Core) loadMissLineRead(addr uint64) int {
+	if c.D.Scheme.Kind() != protect.KindTwoDim {
+		return 0
+	}
+	set, way := c.D.C.Probe(addr)
+	if way >= 0 {
+		return 0
+	}
+	if c.D.C.Line(set, c.D.C.Victim(set)).Valid {
+		return 1 // one wide array read of the victim line
+	}
+	return 0
+}

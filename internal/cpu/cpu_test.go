@@ -1,0 +1,214 @@
+package cpu
+
+import (
+	"testing"
+
+	"cppc/internal/core"
+	"cppc/internal/trace"
+)
+
+func gzipProfile() trace.Profile {
+	p, ok := trace.ProfileByName("gzip")
+	if !ok {
+		panic("gzip profile missing")
+	}
+	return p
+}
+
+func TestTable1Config(t *testing.T) {
+	cfg := Table1Config()
+	if cfg.IssueWidth != 4 || cfg.RUUSize != 64 || cfg.LSQSize != 16 {
+		t.Errorf("core geometry: %+v", cfg)
+	}
+	if cfg.IntALU != 4 || cfg.IntMul != 1 || cfg.FPALU != 4 || cfg.FPMul != 1 {
+		t.Errorf("FU pool: %+v", cfg)
+	}
+	if cfg.FreqHz != 3e9 {
+		t.Errorf("frequency: %v", cfg.FreqHz)
+	}
+}
+
+func TestFuPoolSerializesOnSingleUnit(t *testing.T) {
+	p := newPool(1)
+	a := p.acquire(0, 3)
+	b := p.acquire(0, 3)
+	if a != 0 || b != 3 {
+		t.Errorf("single unit: a=%d b=%d", a, b)
+	}
+	p2 := newPool(2)
+	a2 := p2.acquire(0, 3)
+	b2 := p2.acquire(0, 3)
+	if a2 != 0 || b2 != 0 {
+		t.Errorf("two units should run in parallel: a=%d b=%d", a2, b2)
+	}
+}
+
+func TestPortReserveAndSteal(t *testing.T) {
+	p := port{cap: 2}
+	if got := p.reserve(5, 1); got != 5 {
+		t.Errorf("reserve = %d", got)
+	}
+	if got := p.reserve(5, 1); got != 6 {
+		t.Errorf("second reserve = %d", got)
+	}
+	// Stolen cycles within the buffer capacity do not delay demand.
+	p.steal(2)
+	if got := p.reserve(7, 1); got != 7 {
+		t.Errorf("reserve with small debt = %d", got)
+	}
+	// Overflowing debt stalls demand by the excess.
+	p.steal(5) // debt 7, cap 2 -> 5 cycles of stall
+	if got := p.reserve(8, 1); got != 13 {
+		t.Errorf("reserve with overflowing debt = %d", got)
+	}
+	// A long idle gap drains the remaining debt for free.
+	if got := p.reserve(100, 1); got != 100 {
+		t.Errorf("reserve after idle gap = %d", got)
+	}
+}
+
+func TestCPIGreaterThanIdeal(t *testing.T) {
+	sys := NewSystem(Parity1DFactory(), Parity1DFactory())
+	res := RunBenchmark(gzipProfile(), 100000, 1, sys)
+	if res.Instructions != 100000 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+	// A 4-wide machine cannot beat 0.25 CPI, and a real workload with
+	// memory stalls should be well above it but far below pathological.
+	if res.CPI < 0.25 || res.CPI > 10 {
+		t.Fatalf("CPI = %v out of plausible range", res.CPI)
+	}
+	if res.Halted {
+		t.Fatal("halted without faults")
+	}
+}
+
+func TestCPIDeterministic(t *testing.T) {
+	a := RunBenchmark(gzipProfile(), 50000, 1, NewSystem(Parity1DFactory(), Parity1DFactory()))
+	b := RunBenchmark(gzipProfile(), 50000, 1, NewSystem(Parity1DFactory(), Parity1DFactory()))
+	if a.CPI != b.CPI || a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestFigure10Ordering is the shape of Fig. 10 in miniature: CPPC's CPI
+// overhead over one-dimensional parity is small, and two-dimensional
+// parity costs at least as much as CPPC.
+func TestFigure10Ordering(t *testing.T) {
+	const n = 300000
+	base := RunBenchmark(gzipProfile(), n, 1, NewSystem(Parity1DFactory(), Parity1DFactory()))
+	cppc := RunBenchmark(gzipProfile(), n, 1, NewSystem(CPPCFactory(core.DefaultL1Config()), Parity1DFactory()))
+	twod := RunBenchmark(gzipProfile(), n, 1, NewSystem(TwoDimFactory(), Parity1DFactory()))
+
+	if cppc.CPI < base.CPI*0.999 {
+		t.Errorf("CPPC CPI %.4f below parity baseline %.4f", cppc.CPI, base.CPI)
+	}
+	if twod.CPI < cppc.CPI*0.999 {
+		t.Errorf("2D CPI %.4f below CPPC %.4f", twod.CPI, cppc.CPI)
+	}
+	// CPPC's overhead should stay small (paper: <=1% across benchmarks;
+	// allow slack for the synthetic workload).
+	if over := cppc.CPI/base.CPI - 1; over > 0.05 {
+		t.Errorf("CPPC CPI overhead %.2f%% implausibly high", over*100)
+	}
+}
+
+func TestL2SeesTraffic(t *testing.T) {
+	sys := NewSystem(Parity1DFactory(), Parity1DFactory())
+	RunBenchmark(gzipProfile(), 100000, 1, sys)
+	if sys.L2.Stats.Accesses() == 0 {
+		t.Fatal("no L2 traffic")
+	}
+	if sys.L1.Stats.MissRate() <= 0 || sys.L1.Stats.MissRate() > 0.5 {
+		t.Fatalf("implausible L1 miss rate %.3f", sys.L1.Stats.MissRate())
+	}
+}
+
+func TestMcfMissesHard(t *testing.T) {
+	mcf, _ := trace.ProfileByName("mcf")
+	sys := NewSystem(Parity1DFactory(), Parity1DFactory())
+	RunBenchmark(mcf, 200000, 1, sys)
+	easy := NewSystem(Parity1DFactory(), Parity1DFactory())
+	eon, _ := trace.ProfileByName("eon")
+	RunBenchmark(eon, 200000, 1, easy)
+	if sys.L1.Stats.MissRate() <= easy.L1.Stats.MissRate() {
+		t.Errorf("mcf L1 miss rate %.3f not above eon %.3f",
+			sys.L1.Stats.MissRate(), easy.L1.Stats.MissRate())
+	}
+	// mcf's L2 should miss most of the time (paper: ~80%).
+	if mr := sys.L2.Stats.MissRate(); mr < 0.5 {
+		t.Errorf("mcf L2 miss rate %.3f, want high (paper ~0.8)", mr)
+	}
+}
+
+func TestBranchPenaltySlowsDown(t *testing.T) {
+	p := gzipProfile()
+	p.BranchMispredictRate = 0
+	fast := RunBenchmark(p, 100000, 1, NewSystem(Parity1DFactory(), Parity1DFactory()))
+	p.BranchMispredictRate = 0.3
+	slow := RunBenchmark(p, 100000, 1, NewSystem(Parity1DFactory(), Parity1DFactory()))
+	if slow.CPI <= fast.CPI {
+		t.Errorf("mispredictions did not slow the core: %.3f vs %.3f", slow.CPI, fast.CPI)
+	}
+}
+
+func TestOpLatencies(t *testing.T) {
+	if opLatency(trace.OpInt) != 1 || opLatency(trace.OpIntMul) != 3 ||
+		opLatency(trace.OpFP) != 2 || opLatency(trace.OpFPMul) != 4 {
+		t.Error("unexpected FU latencies")
+	}
+	if opLatency(trace.OpLoad) != 1 {
+		t.Error("default latency should be 1")
+	}
+}
+
+func TestICacheModeling(t *testing.T) {
+	p := gzipProfile()
+	// Without the I-cache.
+	sysA := NewSystem(Parity1DFactory(), Parity1DFactory())
+	coreA := NewCore(Table1Config(), sysA.L1)
+	base := coreA.Run(p.NewGen(1), 100000)
+
+	// With a 16KB L1I over a 64KB code footprint: extra front-end stalls.
+	sysB := NewSystem(Parity1DFactory(), Parity1DFactory())
+	coreB := NewCore(Table1Config(), sysB.L1)
+	coreB.SetICache(sysB.L1I, 64<<10)
+	with := coreB.Run(p.NewGen(1), 100000)
+
+	if sysB.L1I.Stats.Accesses() == 0 {
+		t.Fatal("L1I never accessed")
+	}
+	if with.CPI <= base.CPI {
+		t.Errorf("I-cache modeling did not add front-end stalls: %.3f vs %.3f",
+			with.CPI, base.CPI)
+	}
+	if mr := sysB.L1I.Stats.MissRate(); mr <= 0 || mr > 0.2 {
+		t.Errorf("implausible L1I miss rate %.3f", mr)
+	}
+}
+
+func TestICacheFaultsAlwaysRecoverable(t *testing.T) {
+	// Instructions are read-only: every L1I word is clean, so parity plus
+	// refetch recovers any fault — the reason the paper's correction
+	// machinery targets the data side.
+	sys := NewSystem(Parity1DFactory(), Parity1DFactory())
+	core := NewCore(Table1Config(), sys.L1)
+	core.SetICache(sys.L1I, 64<<10)
+	core.Run(gzipProfile().NewGen(2), 50000)
+
+	// Strike a few resident instruction words directly.
+	n := 0
+	for set := 0; set < sys.L1I.C.Cfg.Sets() && n < 10; set++ {
+		if sys.L1I.C.Line(set, 0).Valid {
+			sys.L1I.C.FlipBits(set, 0, 0, 1<<7)
+			n++
+		}
+	}
+	core.Run(gzipProfile().NewGen(3), 50000)
+	if sys.L1I.Halted {
+		t.Fatal("instruction cache fault was fatal")
+	}
+	if sys.L1I.Stats.UnrecoverableDUE != 0 {
+		t.Fatalf("L1I DUEs: %+v", sys.L1I.Stats)
+	}
+}

@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"cppc/internal/cache"
+	"cppc/internal/core"
+	"cppc/internal/protect"
+	"cppc/internal/trace"
+)
+
+// SchemeFactory builds a protection scheme for a cache.
+type SchemeFactory func(c *cache.Cache) protect.Scheme
+
+// Standard factories for the four evaluated schemes, at both levels.
+func Parity1DFactory() SchemeFactory {
+	return func(c *cache.Cache) protect.Scheme { return protect.NewParity1D(c, 8) }
+}
+func SECDEDFactory(interleaved bool) SchemeFactory {
+	return func(c *cache.Cache) protect.Scheme { return protect.NewSECDED(c, interleaved) }
+}
+func TwoDimFactory() SchemeFactory {
+	return func(c *cache.Cache) protect.Scheme { return protect.NewTwoDim(c, 8) }
+}
+func CPPCFactory(cfg core.Config) SchemeFactory {
+	return func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, cfg) }
+}
+
+// System is the Table 1 memory system: L1D (and optionally L1I) on a
+// unified L2 on memory, each level behind its own protection controller.
+type System struct {
+	L1  *protect.Controller
+	L1I *protect.Controller // parity-protected instruction cache
+	L2  *protect.Controller
+	Mem *cache.Memory
+}
+
+// NewSystem builds the Table 1 hierarchy with the given schemes. Memory
+// latency is ~200 cycles at 3 GHz. The L1I shares the unified L2;
+// instructions are read-only, so plain parity fully protects them — it is
+// wired into the front end only when a Core opts in via SetICache.
+func NewSystem(mkL1, mkL2 SchemeFactory) *System {
+	mem := cache.NewMemory(32, 200)
+	l2c := cache.New(cache.L2Config())
+	l2 := protect.NewController(l2c, mkL2(l2c), mem)
+	l1c := cache.New(cache.L1DConfig())
+	l1 := protect.NewController(l1c, mkL1(l1c), l2)
+	lic := cache.New(cache.L1IConfig())
+	li := protect.NewController(lic, protect.NewParity1D(lic, 8), l2)
+	return &System{L1: l1, L1I: li, L2: l2, Mem: mem}
+}
+
+// RunBenchmark executes n instructions of a benchmark profile on the
+// Table 1 processor with the given memory system, returning the timing
+// result. The system's controllers accumulate cache statistics for the
+// energy and reliability models.
+func RunBenchmark(prof trace.Profile, n int, seed int64, sys *System) Result {
+	core := NewCore(Table1Config(), sys.L1)
+	return core.Run(prof.NewGen(seed), n)
+}
+
+// RunBenchmarkWarm runs `warmup` instructions to fill the caches (the
+// SimPoint warm-up the paper's methodology implies), resets all statistics,
+// then measures `measure` instructions.
+func RunBenchmarkWarm(prof trace.Profile, warmup, measure int, seed int64, sys *System) Result {
+	return RunSourceWarm(prof.NewGen(seed), warmup, measure, sys)
+}
+
+// RunSourceWarm is RunBenchmarkWarm over any instruction source (e.g. a
+// recorded trace file).
+func RunSourceWarm(src trace.Source, warmup, measure int, sys *System) Result {
+	core := NewCore(Table1Config(), sys.L1)
+	w := core.Run(src, warmup)
+	sys.L1.Stats = cache.Stats{}
+	sys.L2.Stats = cache.Stats{}
+	sys.L1.C.ResetSampling()
+	sys.L2.C.ResetSampling()
+	m := core.Run(src, measure)
+	// core.Run returns cumulative cycles; subtract the warm-up portion.
+	m.Cycles -= w.Cycles
+	m.CPI = float64(m.Cycles) / float64(m.Instructions)
+	return m
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cppc/internal/cache"
+	"cppc/internal/core"
+	"cppc/internal/cpu"
+	"cppc/internal/protect"
+	"cppc/internal/reliability"
+	"cppc/internal/tables"
+	"cppc/internal/trace"
+)
+
+// SinglePortAblation evaluates the Sec. 7 future-work question — "we will
+// also evaluate single-ported caches and their impact on the
+// read-before-write operations" — by re-running the Fig. 10 CPI
+// comparison with the L1 read and write ports merged.
+func SinglePortAblation(b Budget) string {
+	t := tables.New("Sec. 7 ablation: single-ported L1 vs. split ports (CPI overhead over parity-1d)",
+		"benchmark", "cppc split", "cppc single", "2d split", "2d single")
+	run := func(p trace.Profile, mk cpu.SchemeFactory, single bool) float64 {
+		sys := cpu.NewSystem(mk, cpu.Parity1DFactory())
+		cfg := cpu.Table1Config()
+		cfg.SinglePorted = single
+		c := cpu.NewCore(cfg, sys.L1)
+		gen := p.NewGen(b.Seed)
+		w := c.Run(gen, b.Warmup)
+		m := c.Run(gen, b.Measure)
+		return float64(m.Cycles-w.Cycles) / float64(m.Instructions)
+	}
+	for _, name := range []string{"crafty", "vortex", "swim"} {
+		p, ok := trace.ProfileByName(name)
+		if !ok {
+			continue
+		}
+		var over [4]float64
+		for i, cfg := range []struct {
+			mk     cpu.SchemeFactory
+			single bool
+		}{
+			{cpu.CPPCFactory(core.DefaultL1Config()), false},
+			{cpu.CPPCFactory(core.DefaultL1Config()), true},
+			{cpu.TwoDimFactory(), false},
+			{cpu.TwoDimFactory(), true},
+		} {
+			base := run(p, cpu.Parity1DFactory(), cfg.single)
+			over[i] = run(p, cfg.mk, cfg.single)/base - 1
+		}
+		t.Addf(name,
+			tables.Pct(over[0]), tables.Pct(over[1]),
+			tables.Pct(over[2]), tables.Pct(over[3]))
+	}
+	return t.String() +
+		"merging the ports raises every scheme's absolute CPI; the baseline becomes\n" +
+		"port-bound, so 2D parity's relative overhead shrinks while CPPC's stolen\n" +
+		"reads remain negligible in both designs\n"
+}
+
+// EarlyWritebackAblation quantifies the related-work technique of [2, 15]
+// (Sec. 2): periodically cleaning dirty blocks trades write-back energy
+// for a smaller vulnerable population — which directly scales the
+// baseline parity MTTF and shortens CPPC's exposure windows.
+func EarlyWritebackAblation(accesses int, seed int64) string {
+	t := tables.New("Ablation: early write-back interval vs. dirty population",
+		"interval", "dirty L1", "write-backs", "early WBs", "parity-1d MTTF (yr)")
+	for _, interval := range []uint64{0, 512, 128, 32} {
+		ccfg := cache.L1DConfig()
+		c := cache.New(ccfg)
+		mem := cache.NewMemory(32, 200)
+		ct := protect.NewController(c, protect.MustCPPC(c, core.DefaultL1Config()), mem)
+		ct.SetSampleInterval(64)
+		ct.SetEarlyWriteback(interval, 8)
+
+		p, _ := trace.ProfileByName("gzip")
+		gen := p.NewGen(seed)
+		var now uint64
+		for i := 0; i < accesses; {
+			in := gen.Next()
+			switch in.Op {
+			case trace.OpLoad:
+				now++
+				i++
+				ct.Load(in.Addr, now)
+			case trace.OpStore:
+				now++
+				i++
+				ct.Store(in.Addr, in.Addr, now)
+			}
+		}
+		params := reliability.Params{
+			FITPerBit: 0.001, AVF: 0.7, FreqHz: 3e9,
+			TotalBits: ccfg.TotalBits(), DirtyFraction: c.DirtyFraction(),
+			TavgCycles: 1828,
+		}
+		label := "off"
+		if interval > 0 {
+			label = fmt.Sprintf("%d", interval)
+		}
+		t.Addf(label, tables.Pct(c.DirtyFraction()), ct.Stats.WriteBack,
+			ct.EarlyWriteBacks, fmt.Sprintf("%.0f", reliability.Parity1DMTTFYears(params)))
+	}
+	return t.String()
+}
+
+// ICacheAblation quantifies the front-end model: Fig. 10's CPIs with the
+// Table 1 L1I attached (instruction fetch through a 16KB direct-mapped
+// parity-protected cache sharing the unified L2). Instructions are
+// read-only, so parity alone fully protects them — the reason the paper's
+// machinery targets the data side.
+func ICacheAblation(b Budget) string {
+	t := tables.New("Ablation: instruction-cache modeling (parity-1d data cache)",
+		"benchmark", "CPI no L1I", "CPI with L1I", "L1I miss rate")
+	for _, name := range []string{"gzip", "gcc", "swim"} {
+		p, ok := trace.ProfileByName(name)
+		if !ok {
+			continue
+		}
+		run := func(withIC bool) (float64, float64) {
+			sys := cpu.NewSystem(cpu.Parity1DFactory(), cpu.Parity1DFactory())
+			c := cpu.NewCore(cpu.Table1Config(), sys.L1)
+			if withIC {
+				c.SetICache(sys.L1I, 64<<10)
+			}
+			gen := p.NewGen(b.Seed)
+			w := c.Run(gen, b.Warmup)
+			m := c.Run(gen, b.Measure)
+			return float64(m.Cycles-w.Cycles) / float64(m.Instructions), sys.L1I.Stats.MissRate()
+		}
+		base, _ := run(false)
+		with, mr := run(true)
+		t.Addf(name, base, with, tables.Pct(mr))
+	}
+	return t.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cppc/internal/cache"
+	"cppc/internal/core"
+	"cppc/internal/cpu"
+	"cppc/internal/energy"
+	"cppc/internal/protect"
+	"cppc/internal/tables"
+	"cppc/internal/trace"
+)
+
+// SectionL3 runs the paper's first named future-work item (Sec. 7): an
+// L3 CPPC under large-footprint workloads. The prediction — "we believe
+// the number of read-before-write operations is smaller in L3 caches",
+// hence even lower energy overhead than the L2's ~7% — is tested by
+// building a three-level hierarchy (parity L1 and L2 over the L3 under
+// test) and comparing the L3's dynamic energy under CPPC and parity.
+func SectionL3(b Budget) string {
+	t := tables.New("Sec. 7: L3 CPPC under large-footprint workloads",
+		"benchmark", "L3 accesses", "L3 miss", "RBW/store L2", "RBW/store L3", "cppc/parity L3 energy")
+
+	for _, name := range []string{"mcf", "swim", "applu", "bzip2"} {
+		p, ok := trace.ProfileByName(name)
+		if !ok {
+			continue
+		}
+		type out struct {
+			l3, l2 cache.Stats
+			folds  uint64
+		}
+		// where selects the CPPC level: 0 = none (all parity), 2 or 3.
+		run := func(where int) out {
+			mem := cache.NewMemory(32, 300)
+			l3c := cache.New(cache.L3Config())
+			var l3s protect.Scheme = protect.NewParity1D(l3c, 8)
+			if where == 3 {
+				l3s = protect.MustCPPC(l3c, core.DefaultL2Config())
+			}
+			l3 := protect.NewController(l3c, l3s, mem)
+			l2c := cache.New(cache.L2Config())
+			var l2s protect.Scheme = protect.NewParity1D(l2c, 8)
+			if where == 2 {
+				l2s = protect.MustCPPC(l2c, core.DefaultL2Config())
+			}
+			l2 := protect.NewController(l2c, l2s, l3)
+			l1c := cache.New(cache.L1DConfig())
+			l1 := protect.NewController(l1c, protect.NewParity1D(l1c, 8), l2)
+
+			c := cpu.NewCore(cpu.Table1Config(), l1)
+			gen := p.NewGen(b.Seed)
+			c.Run(gen, b.Warmup)
+			l2.Stats, l3.Stats = cache.Stats{}, cache.Stats{}
+			c.Run(gen, b.Measure)
+			o := out{l3: l3.Stats, l2: l2.Stats}
+			if where == 3 {
+				o.folds = l3s.(*protect.CPPCScheme).Engine.Events.Folds
+			}
+			return o
+		}
+		par := run(0)
+		cp3 := run(3)
+		cp2 := run(2)
+
+		model := energy.New(cache.L3Config(), 8, 1)
+		ePar := energy.Count(par.l3, model, 4, 0).Total()
+		eCpp := energy.Count(cp3.l3, model, 4, cp3.folds).Total()
+		ratio := eCpp / ePar
+
+		rbwL2 := 0.0
+		if cp2.l2.Stores > 0 {
+			rbwL2 = float64(cp2.l2.ReadBeforeWrite) / float64(cp2.l2.Stores)
+		}
+		rbwL3 := 0.0
+		if cp3.l3.Stores > 0 {
+			rbwL3 = float64(cp3.l3.ReadBeforeWrite) / float64(cp3.l3.Stores)
+		}
+		t.Addf(name, cp3.l3.Accesses(), tables.Pct(cp3.l3.MissRate()),
+			fmt.Sprintf("%.3f", rbwL2), fmt.Sprintf("%.3f", rbwL3),
+			fmt.Sprintf("%.3f", ratio))
+	}
+	return t.String() +
+		"a nuanced verdict on the paper's conjecture: when the write working set's reuse\n" +
+		"distance exceeds the L3 (bzip2 here), write-backs land on clean or absent blocks\n" +
+		"and the overhead vanishes as predicted; cyclic write footprints that *fit* in a\n" +
+		"large L3 keep rewriting still-dirty blocks and pay more read-before-writes than\n" +
+		"at the L2 — the L3 advantage is a property of the workload's write reuse, not of\n" +
+		"the level itself\n"
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestRunSuiteParallelRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel suite")
+	}
+	s := RunSuite(Budget{Warmup: 5_000, Measure: 10_000, Seed: 2})
+	if len(s.Order) != 15 {
+		t.Fatalf("suite ran %d benchmarks", len(s.Order))
+	}
+	for _, b := range s.Order {
+		if len(s.Runs[b]) != 4 {
+			t.Fatalf("%s: %d schemes", b, len(s.Runs[b]))
+		}
+	}
+	// Determinism: a second run matches exactly.
+	s2 := RunSuite(Budget{Warmup: 5_000, Measure: 10_000, Seed: 2})
+	for _, b := range s.Order {
+		for id, run := range s.Runs[b] {
+			if run.CPI != s2.Runs[b][id].CPI {
+				t.Fatalf("%s/%v nondeterministic: %v vs %v", b, id, run.CPI, s2.Runs[b][id].CPI)
+			}
+		}
+	}
+}

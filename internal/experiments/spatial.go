@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"cppc/internal/cache"
+	"cppc/internal/core"
+	"cppc/internal/fault"
+	"cppc/internal/protect"
+	"cppc/internal/tables"
+)
+
+// SpatialCoverage runs the Monte-Carlo cross-check of Secs. 4.6 and 4.11:
+// spatial-MBE correction rates for square faults from 1x1 to 8x8, per
+// CPPC configuration, with the baselines alongside.
+func SpatialCoverage(trials int, seed int64) string {
+	configs := []struct {
+		name string
+		mk   fault.SchemeFactory
+	}{
+		{"cppc 1 pair + shifting", cppcF(core.Config{ParityDegree: 8, RegisterPairs: 1, ByteShifting: true})},
+		{"cppc 2 pairs + shifting", cppcF(core.Config{ParityDegree: 8, RegisterPairs: 2, ByteShifting: true})},
+		{"cppc 8 pairs, no shifting", cppcF(core.FullCorrectionConfig())},
+		{"cppc basic (no shifting)", cppcF(core.Config{ParityDegree: 8, RegisterPairs: 1, ByteShifting: false})},
+		{"parity-1d", func(c *cache.Cache) protect.Scheme { return protect.NewParity1D(c, 8) }},
+	}
+	out := "Secs. 4.6/4.11: spatial-MBE correction rate by square size (rows = height, cols = width)\n"
+	for _, cfg := range configs {
+		m := fault.CoverageMatrix(cfg.mk, 8, trials, seed)
+		out += "\n" + cfg.name + ":\n" + fault.FormatMatrix(m)
+	}
+	// SECDED lives on its physically bit-interleaved layout (8 words per
+	// row, adjacent cells from different words): an 8-wide burst becomes
+	// eight single-bit errors, each correctable per codeword.
+	m := fault.CoverageMatrixInterleaved(
+		func(c *cache.Cache) protect.Scheme { return protect.NewSECDED(c, true) },
+		8, trials, seed)
+	out += "\nsecded + 8-way physical bit interleaving:\n" + fault.FormatMatrix(m)
+	return out
+}
+
+func cppcF(cfg core.Config) fault.SchemeFactory {
+	return func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, cfg) }
+}
+
+// PairAblation summarizes the area/reliability trade-off of Secs. 3.4 and
+// 4.6: correction rate of 8x8 faults and aliasing exposure per register
+// pair count.
+func PairAblation(trials int, seed int64) string {
+	t := tables.New("Ablation: register pairs vs. 8x8 spatial coverage",
+		"pairs", "corrected", "DUE", "SDC")
+	for _, pairs := range []int{1, 2, 4, 8} {
+		cfg := core.Config{ParityDegree: 8, RegisterPairs: pairs, ByteShifting: pairs < 8}
+		got := fault.RunSpatialTrials(cppcF(cfg), 8, 8, trials, seed)
+		t.Addf(pairs, got.Corrected, got.DUE, got.SDC)
+	}
+	return t.String()
+}
+
+// ParityAblation sweeps the parity degree (Sec. 3.4's first scaling knob)
+// against temporal two-bit faults.
+func ParityAblation(trials int, seed int64) string {
+	t := tables.New("Ablation: parity degree vs. temporal 2-bit faults",
+		"degree", "corrected", "DUE", "SDC")
+	for _, degree := range []int{1, 2, 4, 8} {
+		cfg := core.Config{ParityDegree: degree, RegisterPairs: 1, ByteShifting: true}
+		got := fault.RunTemporalTrials(cppcF(cfg), 2, trials, seed)
+		t.Addf(degree, got.Corrected, got.DUE, got.SDC)
+	}
+	return t.String()
+}

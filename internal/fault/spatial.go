@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"cppc/internal/cache"
+	"cppc/internal/protect"
+)
+
+// SchemeFactory builds a protection scheme over a cache (mirrors
+// cpu.SchemeFactory without importing the timing model).
+type SchemeFactory func(c *cache.Cache) protect.Scheme
+
+// Counts tallies trial outcomes.
+type Counts struct {
+	Corrected, DUE, SDC int
+}
+
+// Total is the trial count.
+func (c Counts) Total() int { return c.Corrected + c.DUE + c.SDC }
+
+// CoverageRate is the fraction of trials fully corrected.
+func (c Counts) CoverageRate() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.Corrected) / float64(c.Total())
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("corrected=%d DUE=%d SDC=%d", c.Corrected, c.DUE, c.SDC)
+}
+
+// campaignCacheConfig is the small dense cache used for injection trials:
+// direct-mapped so spatial placement is easy to reason about, with one
+// block per physical row.
+func campaignCacheConfig() cache.Config {
+	cfg, err := cache.Config{
+		Name: "campaign", SizeBytes: 4096, Ways: 1, BlockBytes: 32,
+		DirtyGranuleWords: 1, HitLatencyCycles: 2,
+	}.Validate()
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// interleavedCampaignConfig is the campaign cache with 8-way physical bit
+// interleaving (8 words per row), the layout the paper pairs with SECDED.
+func interleavedCampaignConfig() cache.Config {
+	cfg, err := cache.Config{
+		Name: "campaign-il", SizeBytes: 4096, Ways: 1, BlockBytes: 32,
+		DirtyGranuleWords: 1, HitLatencyCycles: 2,
+		WordsPerRow: 8, BitInterleaved: true,
+	}.Validate()
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// RunSpatialTrials runs `trials` independent spatial-fault injections of
+// an HxW square against a fresh populated cache each time.
+func RunSpatialTrials(mk SchemeFactory, h, w, trials int, seed int64) Counts {
+	return RunSpatialTrialsCfg(campaignCacheConfig(), mk, h, w, trials, seed)
+}
+
+// RunSpatialTrialsInterleaved is RunSpatialTrials over the bit-interleaved
+// layout.
+func RunSpatialTrialsInterleaved(mk SchemeFactory, h, w, trials int, seed int64) Counts {
+	return RunSpatialTrialsCfg(interleavedCampaignConfig(), mk, h, w, trials, seed)
+}
+
+// RunSpatialTrialsCfg runs spatial trials over an explicit cache layout.
+func RunSpatialTrialsCfg(ccfg cache.Config, mk SchemeFactory, h, w, trials int, seed int64) Counts {
+	var out Counts
+	for i := 0; i < trials; i++ {
+		c := cache.New(ccfg)
+		mem := cache.NewMemory(32, 100)
+		ct := protect.NewController(c, mk(c), mem)
+		camp := New(ct, mem, seed+int64(i))
+		camp.Populate(4000, 8192)
+		if camp.InjectSpatial(h, w) == 0 {
+			out.Corrected++ // nothing flipped: benign placement
+			continue
+		}
+		switch camp.Probe() {
+		case Corrected:
+			out.Corrected++
+		case DUE:
+			out.DUE++
+		case SDC:
+			out.SDC++
+		}
+	}
+	return out
+}
+
+// RunTemporalTrials injects `bits` independent single-bit flips at random
+// resident words (temporal multi-bit when bits > 1), per trial.
+func RunTemporalTrials(mk SchemeFactory, bits, trials int, seed int64) Counts {
+	var out Counts
+	for i := 0; i < trials; i++ {
+		c := cache.New(campaignCacheConfig())
+		mem := cache.NewMemory(32, 100)
+		ct := protect.NewController(c, mk(c), mem)
+		camp := New(ct, mem, seed+int64(i))
+		camp.Populate(4000, 8192)
+		flipped := 0
+		for flipped < bits {
+			addr := uint64(camp.rng.Intn(8192/8)) * 8
+			if camp.InjectWord(addr, 1<<uint(camp.rng.Intn(64))) {
+				flipped++
+			}
+		}
+		switch camp.Probe() {
+		case Corrected:
+			out.Corrected++
+		case DUE:
+			out.DUE++
+		case SDC:
+			out.SDC++
+		}
+	}
+	return out
+}
+
+// CoverageMatrix sweeps spatial squares from 1x1 to maxSize x maxSize and
+// returns the per-shape counts, indexed [height-1][width-1].
+func CoverageMatrix(mk SchemeFactory, maxSize, trials int, seed int64) [][]Counts {
+	return CoverageMatrixCfg(campaignCacheConfig(), mk, maxSize, trials, seed)
+}
+
+// CoverageMatrixInterleaved is CoverageMatrix over the bit-interleaved
+// layout (the SECDED configuration).
+func CoverageMatrixInterleaved(mk SchemeFactory, maxSize, trials int, seed int64) [][]Counts {
+	return CoverageMatrixCfg(interleavedCampaignConfig(), mk, maxSize, trials, seed)
+}
+
+// CoverageMatrixCfg sweeps spatial squares over an explicit cache layout.
+func CoverageMatrixCfg(ccfg cache.Config, mk SchemeFactory, maxSize, trials int, seed int64) [][]Counts {
+	m := make([][]Counts, maxSize)
+	for h := 1; h <= maxSize; h++ {
+		m[h-1] = make([]Counts, maxSize)
+		for w := 1; w <= maxSize; w++ {
+			m[h-1][w-1] = RunSpatialTrialsCfg(ccfg, mk, h, w, trials, seed+int64(h*100+w))
+		}
+	}
+	return m
+}
+
+// FormatMatrix renders a coverage matrix as rows of correction rates.
+func FormatMatrix(m [][]Counts) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s", "HxW")
+	for w := 1; w <= len(m); w++ {
+		fmt.Fprintf(&b, "%7d", w)
+	}
+	b.WriteByte('\n')
+	for h := range m {
+		fmt.Fprintf(&b, "%4d", h+1)
+		for w := range m[h] {
+			fmt.Fprintf(&b, "%7.2f", m[h][w].CoverageRate())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package parity
+
+import "testing"
+
+// FuzzSECDEDDecode: decoding any (word, check) pair must never panic and
+// must classify consistently: re-decoding the corrected output is clean.
+func FuzzSECDEDDecode(f *testing.F) {
+	var s SECDED
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(0xff))
+	f.Add(uint64(0xdeadbeef), s.Encode(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, w, check uint64) {
+		res := s.Decode(w, check&0xff)
+		switch res.Outcome {
+		case SECDEDCorrectedData:
+			// The corrected word with freshly encoded check bits is clean.
+			if again := s.Decode(res.Corrected, s.Encode(res.Corrected)); again.Outcome != SECDEDClean {
+				t.Fatalf("corrected output not clean: %v", again.Outcome)
+			}
+			if res.DataBit < 0 || res.DataBit > 63 {
+				t.Fatalf("DataBit %d out of range", res.DataBit)
+			}
+		case SECDEDClean:
+			if res.Corrected != w {
+				t.Fatal("clean decode altered the data")
+			}
+		}
+	})
+}
+
+// FuzzHamming256Decode: the block-level code at any received state.
+func FuzzHamming256Decode(f *testing.F) {
+	h := MustHamming(256)
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4), uint64(0))
+	f.Fuzz(func(t *testing.T, a, b, c, d, check uint64) {
+		data := []uint64{a, b, c, d}
+		res := h.Decode(data, check&0x3ff)
+		if res.Outcome == SECDEDCorrectedData && (res.DataBit < 0 || res.DataBit > 255) {
+			t.Fatalf("DataBit %d out of range", res.DataBit)
+		}
+	})
+}

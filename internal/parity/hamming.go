@@ -1,0 +1,129 @@
+package parity
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hamming is an extended Hamming SECDED code over an arbitrary number of
+// data bits (up to 1024), used for the paper's block-level SECDED L2
+// configuration ("as an L2 cache, a SECDED is attached to a block instead
+// of each word", Sec. 6). The 64-bit SECDED type is the fixed-size special
+// case kept for the hot per-word path.
+type Hamming struct {
+	dataBits  int
+	checkBits int   // Hamming check bits (excluding the overall parity bit)
+	posOf     []int // codeword position of each data bit
+	dataAt    []int // inverse: data bit at codeword position, or -1
+}
+
+// NewHamming builds a SECDED code over dataBits bits of data, which must
+// be a positive multiple of 64 (data is passed as []uint64).
+func NewHamming(dataBits int) (*Hamming, error) {
+	if dataBits <= 0 || dataBits > 1024 || dataBits%64 != 0 {
+		return nil, fmt.Errorf("parity: unsupported Hamming data width %d", dataBits)
+	}
+	r := 0
+	for (1 << uint(r)) < dataBits+r+1 {
+		r++
+	}
+	n := dataBits + r // highest codeword position (positions 1..n)
+	h := &Hamming{
+		dataBits:  dataBits,
+		checkBits: r,
+		posOf:     make([]int, dataBits),
+		dataAt:    make([]int, n+1),
+	}
+	for i := range h.dataAt {
+		h.dataAt[i] = -1
+	}
+	i := 0
+	for pos := 1; pos <= n && i < dataBits; pos++ {
+		if pos&(pos-1) == 0 {
+			continue
+		}
+		h.posOf[i] = pos
+		h.dataAt[pos] = i
+		i++
+	}
+	if i != dataBits {
+		return nil, fmt.Errorf("parity: internal error sizing Hamming(%d)", dataBits)
+	}
+	return h, nil
+}
+
+// MustHamming is NewHamming that panics on error.
+func MustHamming(dataBits int) *Hamming {
+	h, err := NewHamming(dataBits)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// CheckBits is the total stored check bits: Hamming bits plus the overall
+// parity bit. (10 for a 256-bit block.)
+func (h *Hamming) CheckBits() int { return h.checkBits + 1 }
+
+// Name identifies the code.
+func (h *Hamming) Name() string {
+	return fmt.Sprintf("secded-%d-%d", h.dataBits+h.CheckBits(), h.dataBits)
+}
+
+func dataBit(data []uint64, i int) uint64 { return (data[i/64] >> uint(i%64)) & 1 }
+
+// Encode computes the check bits for data: bits 0..r-1 are the Hamming
+// check bits, bit r the overall parity over the whole codeword.
+func (h *Hamming) Encode(data []uint64) uint64 {
+	var check uint64
+	for i := 0; i < h.dataBits; i++ {
+		if dataBit(data, i) != 0 {
+			check ^= uint64(h.posOf[i])
+		}
+	}
+	// check now holds, in bit c, the parity of data bits covered by check
+	// bit c (the XOR of positions trick).
+	check &= (1 << uint(h.checkBits)) - 1
+	var total uint64
+	for _, w := range data {
+		total ^= uint64(bits.OnesCount64(w) & 1)
+	}
+	total ^= uint64(bits.OnesCount64(check) & 1)
+	return check | total<<uint(h.checkBits)
+}
+
+// HammingResult reports a decode: the outcome reuses the SECDED
+// classifications; DataBit is the corrected data bit index (or -1).
+type HammingResult struct {
+	Outcome SECDEDOutcome
+	DataBit int
+}
+
+// Decode checks received data against received check bits. On
+// SECDEDCorrectedData the caller must flip DataBit of the data.
+func (h *Hamming) Decode(data []uint64, check uint64) HammingResult {
+	expected := h.Encode(data)
+	mask := uint64(1<<uint(h.checkBits)) - 1
+	syndrome := int((check ^ expected) & mask)
+	var total uint64
+	for _, w := range data {
+		total ^= uint64(bits.OnesCount64(w) & 1)
+	}
+	total ^= uint64(bits.OnesCount64(check&(mask|1<<uint(h.checkBits))) & 1)
+	overallMismatch := total != 0
+
+	switch {
+	case syndrome == 0 && !overallMismatch:
+		return HammingResult{Outcome: SECDEDClean, DataBit: -1}
+	case overallMismatch:
+		if syndrome == 0 || (syndrome&(syndrome-1)) == 0 {
+			return HammingResult{Outcome: SECDEDCorrectedCheck, DataBit: -1}
+		}
+		if syndrome < len(h.dataAt) && h.dataAt[syndrome] >= 0 {
+			return HammingResult{Outcome: SECDEDCorrectedData, DataBit: h.dataAt[syndrome]}
+		}
+		return HammingResult{Outcome: SECDEDDoubleError, DataBit: -1}
+	default:
+		return HammingResult{Outcome: SECDEDDoubleError, DataBit: -1}
+	}
+}

@@ -1,0 +1,132 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewHammingValidation(t *testing.T) {
+	for _, bits := range []int{0, -64, 63, 100, 2048} {
+		if _, err := NewHamming(bits); err == nil {
+			t.Errorf("NewHamming(%d) accepted", bits)
+		}
+	}
+	h := MustHamming(256)
+	if h.CheckBits() != 10 { // 9 Hamming bits + overall parity for 256 data bits
+		t.Errorf("CheckBits(256) = %d, want 10", h.CheckBits())
+	}
+	if MustHamming(64).CheckBits() != 8 {
+		t.Error("Hamming(64) should need 8 check bits, matching SECDED (72,64)")
+	}
+	if h.Name() != "secded-266-256" {
+		t.Errorf("Name = %q", h.Name())
+	}
+}
+
+func TestMustHammingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustHamming(63) did not panic")
+		}
+	}()
+	MustHamming(63)
+}
+
+func TestHammingCleanRoundTrip(t *testing.T) {
+	for _, dataBits := range []int{64, 128, 256, 512} {
+		h := MustHamming(dataBits)
+		rng := rand.New(rand.NewSource(int64(dataBits)))
+		for trial := 0; trial < 50; trial++ {
+			data := make([]uint64, dataBits/64)
+			for i := range data {
+				data[i] = rng.Uint64()
+			}
+			res := h.Decode(data, h.Encode(data))
+			if res.Outcome != SECDEDClean {
+				t.Fatalf("Hamming(%d): clean decode = %v", dataBits, res.Outcome)
+			}
+		}
+	}
+}
+
+func TestHammingCorrectsEveryDataBit(t *testing.T) {
+	h := MustHamming(256)
+	rng := rand.New(rand.NewSource(21))
+	data := make([]uint64, 4)
+	for i := range data {
+		data[i] = rng.Uint64()
+	}
+	check := h.Encode(data)
+	for bit := 0; bit < 256; bit++ {
+		data[bit/64] ^= 1 << uint(bit%64)
+		res := h.Decode(data, check)
+		if res.Outcome != SECDEDCorrectedData || res.DataBit != bit {
+			t.Fatalf("bit %d: outcome %v, DataBit %d", bit, res.Outcome, res.DataBit)
+		}
+		data[bit/64] ^= 1 << uint(bit%64)
+	}
+}
+
+func TestHammingCorrectsCheckBits(t *testing.T) {
+	h := MustHamming(256)
+	data := []uint64{1, 2, 3, 4}
+	check := h.Encode(data)
+	for bit := 0; bit < h.CheckBits(); bit++ {
+		res := h.Decode(data, check^(1<<uint(bit)))
+		if res.Outcome != SECDEDCorrectedCheck {
+			t.Fatalf("check bit %d: outcome %v", bit, res.Outcome)
+		}
+	}
+}
+
+func TestHammingDetectsDoubleErrors(t *testing.T) {
+	h := MustHamming(256)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 300; trial++ {
+		data := make([]uint64, 4)
+		for i := range data {
+			data[i] = rng.Uint64()
+		}
+		check := h.Encode(data)
+		a, b := rng.Intn(256), rng.Intn(256)
+		for b == a {
+			b = rng.Intn(256)
+		}
+		data[a/64] ^= 1 << uint(a%64)
+		data[b/64] ^= 1 << uint(b%64)
+		if res := h.Decode(data, check); res.Outcome != SECDEDDoubleError {
+			t.Fatalf("double flip (%d,%d): %v", a, b, res.Outcome)
+		}
+	}
+}
+
+func TestHammingAgreesWithSECDED64OnOutcomes(t *testing.T) {
+	// The generic code at width 64 must classify exactly like the
+	// specialized (72,64) implementation for data-bit errors.
+	h := MustHamming(64)
+	var s SECDED
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		w := rng.Uint64()
+		nflips := 1 + rng.Intn(2)
+		mask := uint64(0)
+		for len(positions(mask)) < nflips {
+			mask |= 1 << uint(rng.Intn(64))
+		}
+		gotG := h.Decode([]uint64{w ^ mask}, h.Encode([]uint64{w}))
+		gotS := s.Decode(w^mask, s.Encode(w))
+		if gotG.Outcome != gotS.Outcome {
+			t.Fatalf("mask %#x: generic %v, specialized %v", mask, gotG.Outcome, gotS.Outcome)
+		}
+	}
+}
+
+func positions(w uint64) []int {
+	var out []int
+	for i := 0; i < 64; i++ {
+		if w&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

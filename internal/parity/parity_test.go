@@ -1,0 +1,222 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleavedRoundTrip(t *testing.T) {
+	for _, degree := range []int{1, 2, 4, 8} {
+		c := NewInterleaved(degree)
+		f := func(w uint64) bool {
+			return !c.Detects(w, c.Encode(w))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("degree %d: %v", degree, err)
+		}
+	}
+}
+
+func TestInterleavedDetectsOdd(t *testing.T) {
+	c := NewInterleaved(8)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		w := rng.Uint64()
+		check := c.Encode(w)
+		// Flip an odd number of bits all in distinct stripes.
+		n := 1 + 2*rng.Intn(4) // 1, 3, 5, 7
+		stripes := rng.Perm(8)[:n]
+		var mask uint64
+		for _, s := range stripes {
+			mask |= 1 << uint(s+8*rng.Intn(8))
+		}
+		if !c.Detects(w^mask, check) {
+			t.Fatalf("odd flips in distinct stripes undetected: mask %#x", mask)
+		}
+		got := c.FaultyStripes(w^mask, check)
+		if len(got) != n {
+			t.Fatalf("expected %d faulty stripes, got %v", n, got)
+		}
+	}
+}
+
+func TestInterleavedNamesAndSizes(t *testing.T) {
+	c := NewInterleaved(8)
+	if c.Name() != "parity-8way" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.CheckBits() != 8 {
+		t.Errorf("CheckBits = %d", c.CheckBits())
+	}
+	if NewInterleaved(1).CheckBits() != 1 {
+		t.Error("degree-1 CheckBits wrong")
+	}
+}
+
+func TestNewInterleavedPanics(t *testing.T) {
+	for _, degree := range []int{0, 3, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewInterleaved(%d) did not panic", degree)
+				}
+			}()
+			NewInterleaved(degree)
+		}()
+	}
+}
+
+func TestSECDEDCleanRoundTrip(t *testing.T) {
+	var s SECDED
+	f := func(w uint64) bool {
+		res := s.Decode(w, s.Encode(w))
+		return res.Outcome == SECDEDClean && res.Corrected == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSECDEDCorrectsEveryDataBit(t *testing.T) {
+	var s SECDED
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		w := rng.Uint64()
+		check := s.Encode(w)
+		for bit := 0; bit < 64; bit++ {
+			res := s.Decode(w^(1<<uint(bit)), check)
+			if res.Outcome != SECDEDCorrectedData {
+				t.Fatalf("bit %d: outcome %v", bit, res.Outcome)
+			}
+			if res.Corrected != w {
+				t.Fatalf("bit %d: corrected %#x, want %#x", bit, res.Corrected, w)
+			}
+			if res.DataBit != bit {
+				t.Fatalf("bit %d: reported DataBit %d", bit, res.DataBit)
+			}
+		}
+	}
+}
+
+func TestSECDEDCorrectsEveryCheckBit(t *testing.T) {
+	var s SECDED
+	w := uint64(0xfeedfacecafef00d)
+	check := s.Encode(w)
+	for bit := 0; bit < 8; bit++ {
+		res := s.Decode(w, check^(1<<uint(bit)))
+		if res.Outcome != SECDEDCorrectedCheck {
+			t.Fatalf("check bit %d: outcome %v", bit, res.Outcome)
+		}
+		if res.Corrected != w {
+			t.Fatalf("check bit %d corrupted data", bit)
+		}
+	}
+}
+
+func TestSECDEDDetectsDoubleErrors(t *testing.T) {
+	var s SECDED
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		w := rng.Uint64()
+		check := s.Encode(w)
+		// Flip two distinct codeword bits: choose among 72 positions
+		// (64 data + 8 check).
+		a, b := rng.Intn(72), rng.Intn(72)
+		for b == a {
+			b = rng.Intn(72)
+		}
+		w2, check2 := w, check
+		for _, p := range []int{a, b} {
+			if p < 64 {
+				w2 ^= 1 << uint(p)
+			} else {
+				check2 ^= 1 << uint(p-64)
+			}
+		}
+		res := s.Decode(w2, check2)
+		if res.Outcome != SECDEDDoubleError {
+			t.Fatalf("double flip (%d,%d): outcome %v", a, b, res.Outcome)
+		}
+	}
+}
+
+func TestSECDEDOutcomeStrings(t *testing.T) {
+	want := map[SECDEDOutcome]string{
+		SECDEDClean:          "clean",
+		SECDEDCorrectedData:  "corrected-data",
+		SECDEDCorrectedCheck: "corrected-check",
+		SECDEDDoubleError:    "double-error",
+		SECDEDOutcome(99):    "unknown",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+}
+
+func TestSECDEDInterface(t *testing.T) {
+	var c Code = SECDED{}
+	if c.Name() != "secded-72-64" || c.CheckBits() != 8 {
+		t.Error("SECDED Code metadata wrong")
+	}
+	w := uint64(42)
+	if c.Detects(w, c.Encode(w)) {
+		t.Error("clean word flagged")
+	}
+	if !c.Detects(w^1, c.Encode(w)) {
+		t.Error("flipped word not flagged")
+	}
+}
+
+func TestVerticalParityReconstruct(t *testing.T) {
+	var v Vertical
+	words := []uint64{0x1111, 0x2222, 0x4444, 0x8888}
+	for _, w := range words {
+		v.Insert(w)
+	}
+	// Corrupt words[2]; reconstruct from the others.
+	var others uint64
+	for i, w := range words {
+		if i != 2 {
+			others ^= w
+		}
+	}
+	if got := v.Reconstruct(others); got != words[2] {
+		t.Fatalf("Reconstruct = %#x, want %#x", got, words[2])
+	}
+}
+
+func TestVerticalParityWriteRemove(t *testing.T) {
+	var v Vertical
+	rng := rand.New(rand.NewSource(13))
+	live := make([]uint64, 16)
+	for i := range live {
+		live[i] = rng.Uint64()
+		v.Insert(live[i])
+	}
+	// Random updates via read-before-write.
+	for trial := 0; trial < 100; trial++ {
+		i := rng.Intn(len(live))
+		nw := rng.Uint64()
+		v.Write(live[i], nw)
+		live[i] = nw
+	}
+	// Remove half.
+	for i := 0; i < 8; i++ {
+		v.Remove(live[i])
+		live[i] = 0
+	}
+	var all uint64
+	for _, w := range live {
+		all ^= w
+	}
+	if !v.Verify(all) {
+		t.Fatal("vertical row inconsistent after updates")
+	}
+	v.Reset()
+	if v.Row() != 0 {
+		t.Fatal("Reset did not clear row")
+	}
+}

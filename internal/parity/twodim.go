@@ -1,0 +1,48 @@
+package parity
+
+import "cppc/internal/bitops"
+
+// Vertical maintains the vertical parity row of a two-dimensional parity
+// cache (Kim et al., MICRO-40 [12], the comparison scheme of Sec. 2 and
+// Sec. 6). The horizontal dimension is an Interleaved code per word; the
+// vertical dimension is the column-wise XOR of every word in the protected
+// region, kept in a single parity row as in the paper's evaluated
+// configuration ("only one vertical parity row is implemented for the
+// entire cache").
+//
+// Keeping the row current is what forces the scheme's expensive
+// read-before-write: every Store and every miss fill must first read the
+// old contents so the old value can be XORed out of the row.
+type Vertical struct {
+	row uint64
+}
+
+// Row returns the current vertical parity row.
+func (v *Vertical) Row() uint64 { return v.row }
+
+// Write folds a word update into the row: old is the previous contents of
+// the slot (obtained by the read-before-write), new_ the value being
+// written.
+func (v *Vertical) Write(old, new_ uint64) { v.row ^= old ^ new_ }
+
+// Insert folds a newly valid word (a miss fill into a previously invalid
+// slot) into the row.
+func (v *Vertical) Insert(w uint64) { v.row ^= w }
+
+// Remove folds an evicted or invalidated word out of the row.
+func (v *Vertical) Remove(w uint64) { v.row ^= w }
+
+// Reconstruct recovers a faulty word given the XOR of every *other* valid
+// word in the protected region: faulty = row ^ xorOthers. The caller is
+// responsible for sweeping the array; with a single vertical row the sweep
+// covers the entire cache.
+func (v *Vertical) Reconstruct(xorOthers uint64) uint64 { return v.row ^ xorOthers }
+
+// Verify reports whether the row is consistent with the XOR of all valid
+// words (used by tests and scrubbing).
+func (v *Vertical) Verify(xorAll uint64) bool { return v.row == xorAll }
+
+// Reset clears the row (cache flush).
+func (v *Vertical) Reset() { v.row = 0 }
+
+var _ = bitops.WordBits // keep the import symmetrical with sibling files

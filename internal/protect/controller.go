@@ -1,0 +1,491 @@
+package protect
+
+import (
+	"cppc/internal/cache"
+)
+
+// Controller drives one protected cache level: address decomposition,
+// hit/miss handling, LRU, write-backs, fills, the protection hooks, and
+// event statistics. It implements cache.Backing so levels stack.
+type Controller struct {
+	C      *cache.Cache
+	Scheme Scheme
+	Next   cache.Backing
+	Stats  cache.Stats
+
+	// sampleEvery controls dirty-occupancy sampling (Table 2); a sample
+	// is taken every N accesses. 0 disables sampling.
+	sampleEvery uint64
+	accessCount uint64
+
+	// Early write-back (the related-work technique of [2, 15], Sec. 2):
+	// every ewInterval accesses, up to ewBatch dirty blocks are written
+	// back and downgraded to clean, shrinking the vulnerable dirty
+	// population at the cost of extra write-back traffic. 0 disables.
+	ewInterval uint64
+	ewBatch    int
+	ewCursor   int // round-robin set scan position
+	// EarlyWriteBacks counts blocks cleaned by the policy.
+	EarlyWriteBacks uint64
+
+	// Scrubbing: every scrubInterval accesses, scrubBatch granules are
+	// verified (and repaired) in the background, round-robin. Scrubbing
+	// shortens the window during which a latent fault can pair with a
+	// second one — the Tavg term of the Sec. 6.3 reliability model.
+	scrubInterval uint64
+	scrubBatch    int
+	scrubSet      int
+	scrubWay      int
+	scrubGranule  int
+	// ScrubsPerformed counts granule verifications done by the scrubber.
+	ScrubsPerformed uint64
+
+	// writeThrough makes every store propagate to the next level
+	// immediately, so lines never hold dirty data: the Sec. 1 baseline in
+	// which plain parity is fully sufficient ("parity bits are very
+	// effective in L1 write-through caches because they detect faults
+	// recoverable from the L2 cache").
+	writeThrough bool
+
+	// Halted is set when a DUE occurred (the paper halts the program and
+	// raises a machine check); the simulator surfaces it to the caller.
+	Halted bool
+}
+
+// NewController wires a cache, a scheme and a backing level together.
+func NewController(c *cache.Cache, s Scheme, next cache.Backing) *Controller {
+	return &Controller{C: c, Scheme: s, Next: next, sampleEvery: 256}
+}
+
+// SetSampleInterval adjusts dirty-occupancy sampling (0 disables).
+func (ct *Controller) SetSampleInterval(n uint64) { ct.sampleEvery = n }
+
+// SetWriteThrough switches the controller to write-through operation:
+// stores update the cache and the next level together, and nothing is
+// ever dirty.
+func (ct *Controller) SetWriteThrough(on bool) { ct.writeThrough = on }
+
+// AccessResult reports what one load or store did, for the timing and
+// energy models.
+type AccessResult struct {
+	Hit          bool
+	Value        uint64 // loaded value (loads only)
+	Latency      int    // cycles: hit latency plus any miss penalty
+	ReadPortOps  int    // data-array read-port operations used
+	WritePortOps int    // data-array write-port operations used
+	Fault        FaultStatus
+	WroteBack    bool // a dirty victim was pushed to the next level
+}
+
+// SetEarlyWriteback enables the early write-back policy: every interval
+// accesses, up to batch dirty blocks are cleaned. interval 0 disables.
+func (ct *Controller) SetEarlyWriteback(interval uint64, batch int) {
+	ct.ewInterval = interval
+	ct.ewBatch = batch
+}
+
+func (ct *Controller) tick() {
+	ct.accessCount++
+	if ct.sampleEvery > 0 && ct.accessCount%ct.sampleEvery == 0 {
+		ct.C.SampleDirtyOccupancy()
+	}
+	if ct.ewInterval > 0 && ct.accessCount%ct.ewInterval == 0 {
+		ct.earlyWriteback(ct.accessCount)
+	}
+	if ct.scrubInterval > 0 && ct.accessCount%ct.scrubInterval == 0 {
+		ct.scrub(ct.accessCount)
+	}
+}
+
+// SetScrubbing enables the background scrubber: every interval accesses,
+// batch granules are verified round-robin. interval 0 disables.
+func (ct *Controller) SetScrubbing(interval uint64, batch int) {
+	ct.scrubInterval = interval
+	ct.scrubBatch = batch
+}
+
+// scrub verifies the next batch of granules in array order.
+func (ct *Controller) scrub(now uint64) {
+	var res AccessResult
+	for i := 0; i < ct.scrubBatch; i++ {
+		if ct.C.Line(ct.scrubSet, ct.scrubWay).Valid {
+			ct.ScrubsPerformed++
+			ct.verifyOnRead(ct.scrubSet, ct.scrubWay, ct.scrubGranule, now, &res)
+		}
+		ct.scrubGranule++
+		if ct.scrubGranule == ct.C.Cfg.Granules() {
+			ct.scrubGranule = 0
+			ct.scrubWay++
+			if ct.scrubWay == ct.C.Cfg.Ways {
+				ct.scrubWay = 0
+				ct.scrubSet = (ct.scrubSet + 1) % ct.C.Cfg.Sets()
+			}
+		}
+	}
+}
+
+// earlyWriteback scans sets round-robin and cleans up to ewBatch dirty
+// blocks.
+func (ct *Controller) earlyWriteback(now uint64) {
+	cleaned := 0
+	sets := ct.C.Cfg.Sets()
+	for scanned := 0; scanned < sets && cleaned < ct.ewBatch; scanned++ {
+		set := ct.ewCursor
+		ct.ewCursor = (ct.ewCursor + 1) % sets
+		for way := 0; way < ct.C.Cfg.Ways && cleaned < ct.ewBatch; way++ {
+			ln := ct.C.Line(set, way)
+			if !ln.Valid || !ln.DirtyAny() {
+				continue
+			}
+			var res AccessResult
+			ct.verifyDirtyGranules(set, way, now, &res)
+			ct.Scheme.OnDowngrade(set, way, now)
+			ct.Next.WriteBackBlock(ct.C.BlockAddr(set, way), ln.Data, now)
+			ct.Stats.WriteBack++
+			ct.EarlyWriteBacks++
+			cleaned++
+		}
+	}
+}
+
+// ensure brings the block holding addr into the cache, handling
+// eviction/write-back and fill hooks; it reports whether it hit and the
+// accumulated miss penalty and port usage.
+func (ct *Controller) ensure(addr uint64, now uint64, res *AccessResult) (set, way int) {
+	set, way = ct.C.Probe(addr)
+	if way >= 0 {
+		ct.C.Touch(set, way)
+		res.Hit = true
+		return set, way
+	}
+	ct.Stats.Misses++
+	way = ct.C.Victim(set)
+	ln := ct.C.Line(set, way)
+
+	if ct.Scheme.FillNeedsOldLine() && ln.Valid {
+		// Two-dimensional parity must read the whole victim line to take
+		// it out of the vertical parity row (Sec. 2): one wide array read
+		// (the energy of a full line, counted in RBWOnMissLines).
+		ct.Stats.ReadBeforeWrite++
+		ct.Stats.RBWOnMissLines++
+		res.ReadPortOps++
+	}
+	if ln.Valid && ln.DirtyAny() {
+		ct.verifyDirtyGranules(set, way, now, res)
+		ct.Scheme.OnEvict(set, way, now)
+		ct.Next.WriteBackBlock(ct.C.BlockAddr(set, way), ln.Data, now)
+		ct.Stats.WriteBack++
+		res.WroteBack = true
+	} else if ln.Valid {
+		ct.Scheme.OnEvict(set, way, now)
+	}
+
+	buf := make([]uint64, ct.C.Cfg.BlockWords())
+	res.Latency += ct.Next.FetchBlock(addr, buf, now)
+	ct.C.Install(set, way, addr, buf)
+	ct.Scheme.OnFill(set, way)
+	ct.Stats.Fills++
+	res.WritePortOps++ // one wide array write fills the line
+	return set, way
+}
+
+// refetch refreshes the *clean* granules of a resident block from the
+// next level (the clean-fault recovery path: "converted to a miss",
+// Sec. 3.2). Dirty granules hold the only copy of their data and are left
+// untouched.
+func (ct *Controller) refetch(set, way int, now uint64) int {
+	addr := ct.C.BlockAddr(set, way)
+	buf := make([]uint64, ct.C.Cfg.BlockWords())
+	lat := ct.Next.FetchBlock(addr, buf, now)
+	ln := ct.C.Line(set, way)
+	gw := ct.C.Cfg.DirtyGranuleWords
+	for g := 0; g < ct.C.Cfg.Granules(); g++ {
+		if ln.Dirty[g] {
+			continue
+		}
+		old := append([]uint64(nil), ln.Data[g*gw:(g+1)*gw]...)
+		copy(ln.Data[g*gw:(g+1)*gw], buf[g*gw:(g+1)*gw])
+		ct.Scheme.OnRefetchGranule(set, way, g, old)
+	}
+	ct.Stats.CleanRefetches++
+	return lat
+}
+
+// verifyDirtyGranules passes every granule of a block about to be written
+// back through the fault checker. The eviction read is a read like any
+// other: silently writing back a corrupted dirty granule converts a
+// detectable fault into an SDC at the next level — and so does a
+// corrupted *clean* granule riding along in the block-granular write-back
+// (a clean faulty granule is refreshed from the next level first).
+func (ct *Controller) verifyDirtyGranules(set, way int, now uint64, res *AccessResult) {
+	for g := 0; g < ct.C.Cfg.Granules(); g++ {
+		ct.verifyOnRead(set, way, g, now, res)
+	}
+}
+
+// verifyOnRead runs the detection/recovery path for a granule whose data
+// is being read — by a demand load, a read-before-write, or a sub-word
+// read-modify-write. Any read must pass the checker: folding a latently
+// corrupted old value into the registers would poison them silently.
+func (ct *Controller) verifyOnRead(set, way, g int, now uint64, res *AccessResult) {
+	status, needRefetch := ct.Scheme.VerifyGranule(set, way, g, now)
+	res.Fault = status
+	switch {
+	case status == FaultDUE:
+		ct.Stats.FaultsDetected++
+		ct.Stats.UnrecoverableDUE++
+		ct.Halted = true
+	case needRefetch:
+		ct.Stats.FaultsDetected++
+		res.Latency += ct.refetch(set, way, now)
+		res.Fault = FaultCorrectedClean
+		ct.Stats.FaultsCorrected++
+	case status != FaultNone:
+		ct.Stats.FaultsDetected++
+		ct.Stats.FaultsCorrected++
+	}
+}
+
+// Load performs a word load at addr.
+func (ct *Controller) Load(addr, now uint64) AccessResult {
+	ct.tick()
+	ct.Stats.Loads++
+	var res AccessResult
+	res.Latency = ct.C.Cfg.HitLatencyCycles
+	res.ReadPortOps++
+	set, way := ct.ensure(addr, now, &res)
+	if res.Hit {
+		ct.Stats.LoadHits++
+	}
+	_, _, word := ct.C.Decompose(addr)
+	g := word / ct.C.Cfg.DirtyGranuleWords
+	ct.C.TouchDirty(set, way, word, now)
+
+	ct.verifyOnRead(set, way, g, now, &res)
+	res.Value = ct.C.Line(set, way).Data[word]
+	return res
+}
+
+// Store performs a word store at addr (write-allocate).
+func (ct *Controller) Store(addr, val, now uint64) AccessResult {
+	ct.tick()
+	ct.Stats.Stores++
+	var res AccessResult
+	res.Latency = ct.C.Cfg.HitLatencyCycles
+	res.WritePortOps++
+	set, way := ct.ensure(addr, now, &res)
+	if res.Hit {
+		ct.Stats.StoreHits++
+	}
+	_, _, word := ct.C.Decompose(addr)
+	g := word / ct.C.Cfg.DirtyGranuleWords
+	ct.C.TouchDirty(set, way, word, now)
+
+	ln := ct.C.Line(set, way)
+	wasDirty := ln.Dirty[g]
+	var old []uint64
+	if ct.Scheme.StoreNeedsOldData(set, way, g) {
+		// The read-before-write passes through the fault checker like any
+		// other read: a latent fault in the old value must be recovered
+		// *before* it is folded into the registers.
+		ct.verifyOnRead(set, way, g, now, &res)
+		old = append(old, ct.granule(ln, g)...)
+		ct.Stats.ReadBeforeWrite++
+		res.ReadPortOps++
+	}
+	ln.Data[word] = val
+	ct.Scheme.OnStore(set, way, g, old, wasDirty, now)
+	if ct.writeThrough {
+		// The store reaches the next level immediately; the line carries
+		// no unique data and reverts to clean.
+		ct.Next.WriteBackBlock(ct.C.BlockAddr(set, way), ln.Data, now)
+		ct.Scheme.OnDowngrade(set, way, now)
+	}
+	return res
+}
+
+// StoreSub performs a sub-word store of `size` bytes (1, 2, 4 or 8) at
+// addr, which must be size-aligned. Per-word check bits force a
+// read-modify-write of the containing 64-bit word (Sec. 3.1: "On a byte
+// Store, the new byte is XORed with the corresponding byte of R1 ... and
+// the old byte ... with R2"); algebraically, folding the merged old/new
+// words gives the registers the identical R1^R2 contribution, so the
+// scheme hooks see an ordinary word store of the merged value.
+func (ct *Controller) StoreSub(addr, val uint64, size int, now uint64) AccessResult {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic("protect: sub-word store size must be 1, 2, 4 or 8")
+	}
+	if addr%uint64(size) != 0 {
+		panic("protect: misaligned sub-word store")
+	}
+	if size == 8 {
+		return ct.Store(addr, val, now)
+	}
+	ct.tick()
+	ct.Stats.Stores++
+	var res AccessResult
+	res.Latency = ct.C.Cfg.HitLatencyCycles
+	res.WritePortOps++
+	wordAddr := addr &^ 7
+	set, way := ct.ensure(wordAddr, now, &res)
+	if res.Hit {
+		ct.Stats.StoreHits++
+	}
+	_, _, word := ct.C.Decompose(wordAddr)
+	g := word / ct.C.Cfg.DirtyGranuleWords
+	ct.C.TouchDirty(set, way, word, now)
+
+	ln := ct.C.Line(set, way)
+	wasDirty := ln.Dirty[g]
+	// The RMW read: needed to rebuild the word's check bits regardless of
+	// scheme; it doubles as the scheme's read-before-write data. Like any
+	// read it passes the fault checker first — merging a sub-word value
+	// into a corrupted word would silently keep the corruption.
+	ct.verifyOnRead(set, way, g, now, &res)
+	ct.Stats.SubWordRMW++
+	res.ReadPortOps++
+	old := append([]uint64(nil), ct.granule(ln, g)...)
+	if ct.Scheme.StoreNeedsOldData(set, way, g) {
+		ct.Stats.ReadBeforeWrite++ // satisfied by the same RMW read
+	}
+	// Merge the sub-word value into the 64-bit word.
+	shift := uint((addr & 7) * 8)
+	var mask uint64
+	if size == 8 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1)<<(uint(size)*8) - 1) << shift
+	}
+	ln.Data[word] = (ln.Data[word] &^ mask) | ((val << shift) & mask)
+	ct.Scheme.OnStore(set, way, g, old, wasDirty, now)
+	return res
+}
+
+// granule returns the data slice of granule g.
+func (ct *Controller) granule(ln *cache.Line, g int) []uint64 {
+	gw := ct.C.Cfg.DirtyGranuleWords
+	return ln.Data[g*gw : (g+1)*gw]
+}
+
+// FetchBlock implements cache.Backing: an upper level reads a whole block
+// through this controller. Resident granules are verified (and repaired)
+// on the way out.
+func (ct *Controller) FetchBlock(addr uint64, dst []uint64, now uint64) int {
+	ct.tick()
+	ct.Stats.Loads++
+	var res AccessResult
+	res.Latency = ct.C.Cfg.HitLatencyCycles
+	set, way := ct.ensure(addr, now, &res)
+	if res.Hit {
+		ct.Stats.LoadHits++
+	}
+	for g := 0; g < ct.C.Cfg.Granules(); g++ {
+		ct.C.TouchDirty(set, way, g*ct.C.Cfg.DirtyGranuleWords, now)
+		status, needRefetch := ct.Scheme.VerifyGranule(set, way, g, now)
+		switch {
+		case status == FaultDUE:
+			ct.Stats.FaultsDetected++
+			ct.Stats.UnrecoverableDUE++
+			ct.Halted = true
+		case needRefetch:
+			ct.Stats.FaultsDetected++
+			res.Latency += ct.refetch(set, way, now)
+			ct.Stats.FaultsCorrected++
+		case status != FaultNone:
+			ct.Stats.FaultsDetected++
+			ct.Stats.FaultsCorrected++
+		}
+	}
+	copy(dst, ct.C.Line(set, way).Data)
+	return res.Latency
+}
+
+// WriteBackBlock implements cache.Backing: an upper level pushes a dirty
+// block down into this controller (write-allocate).
+func (ct *Controller) WriteBackBlock(addr uint64, src []uint64, now uint64) {
+	ct.tick()
+	ct.Stats.Stores++
+	var res AccessResult
+	set, way := ct.ensure(addr, now, &res)
+	if res.Hit {
+		ct.Stats.StoreHits++
+	}
+	ln := ct.C.Line(set, way)
+	gw := ct.C.Cfg.DirtyGranuleWords
+	for g := 0; g < ct.C.Cfg.Granules(); g++ {
+		ct.C.TouchDirty(set, way, g*gw, now)
+		wasDirty := ln.Dirty[g]
+		var old []uint64
+		if ct.Scheme.StoreNeedsOldData(set, way, g) {
+			old = append(old, ct.granule(ln, g)...)
+			ct.Stats.ReadBeforeWrite++
+		}
+		copy(ct.granule(ln, g), src[g*gw:(g+1)*gw])
+		ct.Scheme.OnStore(set, way, g, old, wasDirty, now)
+	}
+}
+
+// Flush writes every dirty block back to the next level (used at the end
+// of simulations so golden comparisons see all data).
+func (ct *Controller) Flush(now uint64) {
+	type ref struct{ set, way int }
+	var dirty []ref
+	ct.C.ForEachValid(func(set, way int, ln *cache.Line) {
+		if ln.DirtyAny() {
+			dirty = append(dirty, ref{set, way})
+		}
+	})
+	for _, r := range dirty {
+		ln := ct.C.Line(r.set, r.way)
+		var res AccessResult
+		ct.verifyDirtyGranules(r.set, r.way, now, &res)
+		ct.Scheme.OnEvict(r.set, r.way, now)
+		ct.Next.WriteBackBlock(ct.C.BlockAddr(r.set, r.way), ln.Data, now)
+		ct.Stats.WriteBack++
+		ct.C.Invalidate(r.set, r.way)
+	}
+}
+
+// FlushBlock writes the dirty data of a resident block back to the next
+// level and downgrades it to clean, keeping it resident (the coherence
+// M->S transition). Reports whether a write-back happened.
+func (ct *Controller) FlushBlock(addr, now uint64) bool {
+	set, way := ct.C.Probe(addr)
+	if way < 0 {
+		return false
+	}
+	ln := ct.C.Line(set, way)
+	if !ln.DirtyAny() {
+		return false
+	}
+	var res AccessResult
+	ct.verifyDirtyGranules(set, way, now, &res)
+	ct.Scheme.OnDowngrade(set, way, now)
+	ct.Next.WriteBackBlock(ct.C.BlockAddr(set, way), ln.Data, now)
+	ct.Stats.WriteBack++
+	return true
+}
+
+// InvalidateBlock removes a resident block (the coherence invalidation on
+// a remote write), writing dirty data back first. Reports whether the
+// block was resident.
+func (ct *Controller) InvalidateBlock(addr, now uint64) bool {
+	set, way := ct.C.Probe(addr)
+	if way < 0 {
+		return false
+	}
+	ln := ct.C.Line(set, way)
+	if ln.DirtyAny() {
+		var res AccessResult
+		ct.verifyDirtyGranules(set, way, now, &res)
+		ct.Scheme.OnEvict(set, way, now)
+		ct.Next.WriteBackBlock(ct.C.BlockAddr(set, way), ln.Data, now)
+		ct.Stats.WriteBack++
+	} else {
+		ct.Scheme.OnEvict(set, way, now)
+	}
+	ct.C.Invalidate(set, way)
+	return true
+}

@@ -1,0 +1,85 @@
+package protect
+
+import (
+	"math/rand"
+	"testing"
+
+	"cppc/internal/cache"
+	"cppc/internal/core"
+)
+
+// runWithEW runs a store-heavy workload and returns average dirty
+// fraction and write-back count.
+func runWithEW(t *testing.T, interval uint64, batch int) (dirty float64, wbs uint64, ct *Controller) {
+	t.Helper()
+	c := testCache()
+	mem := cache.NewMemory(32, 100)
+	ct = NewController(c, MustCPPC(c, core.DefaultL1Config()), mem)
+	ct.SetSampleInterval(16)
+	ct.SetEarlyWriteback(interval, batch)
+	rng := rand.New(rand.NewSource(3))
+	var now uint64
+	golden := map[uint64]uint64{}
+	for i := 0; i < 8000; i++ {
+		now++
+		addr := uint64(rng.Intn(256)) * 8
+		if rng.Intn(2) == 0 {
+			v := rng.Uint64()
+			golden[addr] = v
+			ct.Store(addr, v, now)
+		} else if want, ok := golden[addr]; ok {
+			if res := ct.Load(addr, now); res.Value != want {
+				t.Fatalf("load %#x = %#x want %#x", addr, res.Value, want)
+			}
+		}
+	}
+	// Values survive in memory after a flush.
+	ct.Flush(now + 1)
+	for addr, v := range golden {
+		if got := mem.ReadWord(addr); got != v {
+			t.Fatalf("memory %#x = %#x want %#x", addr, got, v)
+		}
+	}
+	return c.DirtyFraction(), ct.Stats.WriteBack, ct
+}
+
+// TestEarlyWritebackShrinksDirtyPopulation: the [2,15] trade-off — less
+// dirty data (better parity-MTTF) for more write-back traffic.
+func TestEarlyWritebackShrinksDirtyPopulation(t *testing.T) {
+	dirtyOff, wbOff, ctOff := runWithEW(t, 0, 0)
+	dirtyOn, wbOn, ctOn := runWithEW(t, 64, 4)
+	if dirtyOn >= dirtyOff {
+		t.Errorf("early WB did not shrink dirty data: %.3f vs %.3f", dirtyOn, dirtyOff)
+	}
+	if wbOn <= wbOff {
+		t.Errorf("early WB did not add write-backs: %d vs %d", wbOn, wbOff)
+	}
+	if ctOn.EarlyWriteBacks == 0 {
+		t.Error("EarlyWriteBacks not counted")
+	}
+	if ctOff.EarlyWriteBacks != 0 {
+		t.Error("disabled policy wrote back early")
+	}
+	// CPPC registers stay consistent under the policy.
+	if err := ctOn.Scheme.(*CPPCScheme).Engine.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEarlyWritebackRecoversLatentFaults: downgrading a dirty block with
+// a latent fault verifies and repairs it before the data leaves.
+func TestEarlyWritebackRecoversLatentFault(t *testing.T) {
+	c := testCache()
+	mem := cache.NewMemory(32, 100)
+	ct := NewController(c, MustCPPC(c, core.DefaultL1Config()), mem)
+	ct.SetEarlyWriteback(4, 16)
+	ct.Store(0x40, 0xfacade, 1)
+	flipData(ct, 0x40, 1<<13)
+	// A few more accesses trigger the policy, which downgrades 0x40.
+	for i := 0; i < 8; i++ {
+		ct.Load(0x100+uint64(i*8), uint64(2+i))
+	}
+	if got := mem.ReadWord(0x40); got != 0xfacade {
+		t.Fatalf("early write-back shipped corrupted data: %#x", got)
+	}
+}

@@ -1,0 +1,188 @@
+package protect
+
+import (
+	"testing"
+
+	"cppc/internal/cache"
+	"cppc/internal/core"
+)
+
+// fixture builds a controller with one dirty word and one clean word
+// resident, returning their addresses.
+func fixture(t *testing.T, mk func(*cache.Cache) Scheme) (ct *Controller, dirtyAddr, cleanAddr uint64) {
+	t.Helper()
+	c := testCache()
+	mem := cache.NewMemory(32, 100)
+	mem.WriteWord(0x100, 0xc1ea) // golden value for the clean word
+	ct = NewController(c, mk(c), mem)
+	ct.Store(0x40, 0xd1277, 1) // dirty
+	ct.Load(0x100, 2)          // clean
+	return ct, 0x40, 0x100
+}
+
+func flipData(ct *Controller, addr uint64, mask uint64) {
+	set, way := ct.C.Probe(addr)
+	_, _, word := ct.C.Decompose(addr)
+	ct.C.FlipBits(set, way, word, mask)
+}
+
+// TestCleanFaultRefetchAllSchemes: a fault in clean data is repaired by
+// re-fetching from the next level under every scheme.
+func TestCleanFaultRefetch(t *testing.T) {
+	for _, mk := range []func(*cache.Cache) Scheme{
+		func(c *cache.Cache) Scheme { return NewParity1D(c, 8) },
+		func(c *cache.Cache) Scheme { return NewTwoDim(c, 8) },
+		func(c *cache.Cache) Scheme { return MustCPPC(c, core.DefaultL1Config()) },
+	} {
+		ct, _, clean := fixture(t, mk)
+		flipData(ct, clean, 1<<9)
+		res := ct.Load(clean, 10)
+		if res.Fault != FaultCorrectedClean || res.Value != 0xc1ea {
+			t.Fatalf("%s: %+v", ct.Scheme.Name(), res)
+		}
+		if ct.Stats.CleanRefetches != 1 {
+			t.Fatalf("%s: refetches = %d", ct.Scheme.Name(), ct.Stats.CleanRefetches)
+		}
+		// Clean fault again after refetch: cache self-heals.
+		if res := ct.Load(clean, 11); res.Fault != FaultNone {
+			t.Fatalf("%s: fault persists: %+v", ct.Scheme.Name(), res)
+		}
+	}
+}
+
+// TestCleanMultiBitSECDEDRefetch: SECDED corrects a single clean bit in
+// place and refetches clean double faults.
+func TestSECDEDFaultPaths(t *testing.T) {
+	ct, dirty, clean := fixture(t, func(c *cache.Cache) Scheme { return NewSECDED(c, true) })
+
+	flipData(ct, clean, 1<<3)
+	if res := ct.Load(clean, 10); res.Fault != FaultCorrectedClean || res.Value != 0xc1ea {
+		t.Fatalf("clean single: %+v", res)
+	}
+	flipData(ct, clean, 1<<3|1<<40)
+	if res := ct.Load(clean, 11); res.Fault != FaultCorrectedClean || res.Value != 0xc1ea {
+		t.Fatalf("clean double: %+v", res)
+	}
+	flipData(ct, dirty, 1<<3)
+	if res := ct.Load(dirty, 12); res.Fault != FaultCorrectedDirty || res.Value != 0xd1277 {
+		t.Fatalf("dirty single: %+v", res)
+	}
+	flipData(ct, dirty, 1<<3|1<<40)
+	if res := ct.Load(dirty, 13); res.Fault != FaultDUE {
+		t.Fatalf("dirty double: %+v", res)
+	}
+	if !ct.Halted {
+		t.Fatal("controller not halted after DUE")
+	}
+}
+
+// TestParity1DDirtyFaultIsFatal: the baseline loses dirty data.
+func TestParity1DDirtyFaultIsFatal(t *testing.T) {
+	ct, dirty, _ := fixture(t, func(c *cache.Cache) Scheme { return NewParity1D(c, 8) })
+	flipData(ct, dirty, 1<<3)
+	if res := ct.Load(dirty, 10); res.Fault != FaultDUE {
+		t.Fatalf("result = %+v", res)
+	}
+	if ct.Stats.UnrecoverableDUE != 1 || !ct.Halted {
+		t.Fatalf("stats = %+v halted=%v", ct.Stats, ct.Halted)
+	}
+}
+
+// TestCPPCDirtyFaultCorrected: the headline capability.
+func TestCPPCDirtyFaultCorrected(t *testing.T) {
+	ct, dirty, _ := fixture(t, func(c *cache.Cache) Scheme { return MustCPPC(c, core.DefaultL1Config()) })
+	flipData(ct, dirty, 1<<3|1<<12|1<<22) // 3-bit temporal fault in one word
+	res := ct.Load(dirty, 10)
+	if res.Fault != FaultCorrectedDirty || res.Value != 0xd1277 {
+		t.Fatalf("result = %+v", res)
+	}
+	if ct.Stats.FaultsCorrected != 1 {
+		t.Fatalf("stats = %+v", ct.Stats)
+	}
+}
+
+// TestTwoDimDirtyFaultCorrected: vertical parity rebuilds a single faulty
+// dirty word, including multi-bit corruption.
+func TestTwoDimDirtyFaultCorrected(t *testing.T) {
+	ct, dirty, _ := fixture(t, func(c *cache.Cache) Scheme { return NewTwoDim(c, 8) })
+	flipData(ct, dirty, 0x1f<<8) // 5 flips in distinct stripes: detectable
+	res := ct.Load(dirty, 10)
+	if res.Fault != FaultCorrectedDirty || res.Value != 0xd1277 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// TestTwoDimTwoFaultyWordsIsDUE: one vertical row cannot rebuild two
+// faulty words.
+func TestTwoDimTwoFaultyWordsIsDUE(t *testing.T) {
+	ct, dirty, _ := fixture(t, func(c *cache.Cache) Scheme { return NewTwoDim(c, 8) })
+	ct.Store(0x80, 0xbeef, 3) // second dirty word
+	flipData(ct, dirty, 1<<3)
+	flipData(ct, 0x80, 1<<3)
+	if res := ct.Load(dirty, 10); res.Fault != FaultDUE {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// TestCPPCEvictionRecoversLatentFault: a latent fault in a dirty block is
+// repaired before write-back, so the next level receives correct data and
+// R2 absorbs the true value.
+func TestCPPCEvictionRecoversLatentFault(t *testing.T) {
+	c := testCache()
+	mem := cache.NewMemory(32, 100)
+	ct := NewController(c, MustCPPC(c, core.DefaultL1Config()), mem)
+	ct.Store(0x40, 0xfeed, 1)
+	flipData(ct, 0x40, 1<<5)
+	// Force eviction via two conflicting fills.
+	stride := uint64(c.Cfg.Sets() * c.Cfg.BlockBytes)
+	ct.Load(0x40+stride, 2)
+	ct.Load(0x40+2*stride, 3)
+	if got := mem.ReadWord(0x40); got != 0xfeed {
+		t.Fatalf("written-back value = %#x, want 0xfeed", got)
+	}
+	if err := ct.Scheme.(*CPPCScheme).Engine.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCPPCCleanFaultDoesNotTouchRegisters: refetching clean data must not
+// disturb the register invariant.
+func TestCPPCCleanFaultDoesNotTouchRegisters(t *testing.T) {
+	ct, _, clean := fixture(t, func(c *cache.Cache) Scheme { return MustCPPC(c, core.DefaultL1Config()) })
+	flipData(ct, clean, 1<<30)
+	ct.Load(clean, 10)
+	if err := ct.Scheme.(*CPPCScheme).Engine.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestL2CPPCBlockFaultViaHierarchy: corrupt a dirty block resident in the
+// L2; an L1 miss fetching through recovers it transparently.
+func TestL2CPPCBlockFaultViaHierarchy(t *testing.T) {
+	l2c := cache.New(cache.L2Config())
+	l2 := NewController(l2c, MustCPPC(l2c, core.DefaultL2Config()), cache.NewMemory(32, 200))
+	l1c := cache.New(cache.L1DConfig())
+	l1 := NewController(l1c, MustCPPC(l1c, core.DefaultL1Config()), l2)
+
+	l1.Store(0x1000, 0xabcd, 1)
+	// Push the dirty block out of L1 into L2.
+	stride := uint64(l1c.Cfg.Sets() * l1c.Cfg.BlockBytes)
+	l1.Load(0x1000+stride, 2)
+	l1.Load(0x1000+2*stride, 3)
+	set, way := l2c.Probe(0x1000)
+	if way < 0 {
+		t.Fatal("block not in L2")
+	}
+	if !l2c.Line(set, way).DirtyAny() {
+		t.Fatal("block not dirty in L2")
+	}
+	l2c.FlipBits(set, way, 0, 1<<7)
+	// L1 re-fetches through L2: the L2 CPPC must hand back corrected data.
+	res := l1.Load(0x1000, 4)
+	if res.Value != 0xabcd {
+		t.Fatalf("value through hierarchy = %#x", res.Value)
+	}
+	if l2.Stats.FaultsCorrected != 1 {
+		t.Fatalf("L2 stats = %+v", l2.Stats)
+	}
+}

@@ -1,0 +1,97 @@
+package protect
+
+import (
+	"fmt"
+
+	"cppc/internal/bitops"
+	"cppc/internal/cache"
+)
+
+// granuleParity computes degree-way interleaved parity over a granule.
+func granuleParity(data []uint64, degree int) uint64 {
+	var p uint64
+	for _, w := range data {
+		p ^= bitops.Parity(w, degree)
+	}
+	return p
+}
+
+// Parity1D is the baseline: interleaved parity per granule, detection
+// only. Faults in clean data are repaired by re-fetching; faults in dirty
+// data halt the program (Sec. 1: "an exception is taken whenever a fault
+// is detected in a dirty block").
+type Parity1D struct {
+	C      *cache.Cache
+	Degree int
+}
+
+// NewParity1D attaches degree-way interleaved parity to c.
+func NewParity1D(c *cache.Cache, degree int) *Parity1D {
+	return &Parity1D{C: c, Degree: degree}
+}
+
+func (p *Parity1D) Kind() Kind { return KindParity1D }
+func (p *Parity1D) Name() string {
+	return fmt.Sprintf("parity-1d-%dway", p.Degree)
+}
+func (p *Parity1D) CheckBitsPerGranule() int { return p.Degree }
+func (p *Parity1D) BitlineFactor() float64   { return 1 }
+func (p *Parity1D) FillNeedsOldLine() bool   { return false }
+
+func (p *Parity1D) granule(set, way, g int) []uint64 {
+	gw := p.C.Cfg.DirtyGranuleWords
+	return p.C.Line(set, way).Data[g*gw : (g+1)*gw]
+}
+
+func (p *Parity1D) encode(set, way, g int) {
+	gw := p.C.Cfg.DirtyGranuleWords
+	p.C.Line(set, way).Check[g*gw] = granuleParity(p.granule(set, way, g), p.Degree)
+}
+
+func (p *Parity1D) OnFill(set, way int) {
+	for g := 0; g < p.C.Cfg.Granules(); g++ {
+		p.encode(set, way, g)
+	}
+}
+
+func (p *Parity1D) VerifyGranule(set, way, g int, _ uint64) (FaultStatus, bool) {
+	gw := p.C.Cfg.DirtyGranuleWords
+	ln := p.C.Line(set, way)
+	if ln.Check[g*gw] == granuleParity(p.granule(set, way, g), p.Degree) {
+		return FaultNone, false
+	}
+	if ln.Dirty[g] {
+		return FaultDUE, false
+	}
+	return FaultCorrectedClean, true
+}
+
+func (p *Parity1D) StoreNeedsOldData(int, int, int) bool { return false }
+
+func (p *Parity1D) OnStore(set, way, g int, _ []uint64, _ bool, now uint64) {
+	gw := p.C.Cfg.DirtyGranuleWords
+	p.C.MarkDirty(set, way, g*gw, now)
+	p.encode(set, way, g)
+}
+
+func (p *Parity1D) OnEvict(set, way int, _ uint64) {
+	// Detection-only: nothing to fold; dirty bits are cleared by the
+	// controller's install/invalidate.
+	ln := p.C.Line(set, way)
+	for g := range ln.Dirty {
+		p.C.MarkClean(set, way, g)
+	}
+}
+
+// OnRefetchGranule re-encodes parity for the refreshed granule.
+func (p *Parity1D) OnRefetchGranule(set, way, g int, _ []uint64) {
+	p.encode(set, way, g)
+}
+
+// OnDowngrade marks the line clean; detection-only parity has no dirty
+// bookkeeping beyond the bits themselves.
+func (p *Parity1D) OnDowngrade(set, way int, _ uint64) {
+	for g := range p.C.Line(set, way).Dirty {
+		p.C.MarkClean(set, way, g)
+	}
+}

@@ -1,0 +1,124 @@
+// Package protect implements the four cache-protection schemes the paper
+// evaluates (Sec. 6) behind a common Scheme interface, plus the Controller
+// that drives a protected cache: hit/miss handling, write-backs through
+// the protection hooks, fault detection on loads, and the recovery paths.
+//
+// Controllers implement cache.Backing, so an L1 controller can sit on top
+// of an L2 controller which sits on memory — each level with its own
+// protection scheme, as in the paper's two-level evaluations.
+package protect
+
+// Kind enumerates the evaluated schemes.
+type Kind int
+
+const (
+	// KindParity1D: interleaved parity, detection only; dirty faults are
+	// fatal (the baseline of Figs. 10-12 and Table 3).
+	KindParity1D Kind = iota
+	// KindSECDED: word-level SECDED with 8-way physical bit interleaving
+	// at L1, block-level SECDED at L2.
+	KindSECDED
+	// KindTwoDim: 8-way horizontal interleaved parity plus one vertical
+	// parity row for the whole cache; read-before-write on every store
+	// and every miss.
+	KindTwoDim
+	// KindCPPC: the paper's scheme.
+	KindCPPC
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindParity1D:
+		return "parity-1d"
+	case KindSECDED:
+		return "secded"
+	case KindTwoDim:
+		return "parity-2d"
+	case KindCPPC:
+		return "cppc"
+	}
+	return "unknown"
+}
+
+// FaultStatus classifies what a load encountered.
+type FaultStatus int
+
+const (
+	// FaultNone: no fault detected.
+	FaultNone FaultStatus = iota
+	// FaultCorrectedClean: a fault in clean data, repaired by re-fetching
+	// from the next level.
+	FaultCorrectedClean
+	// FaultCorrectedDirty: a fault in dirty data, repaired by the scheme's
+	// correction machinery.
+	FaultCorrectedDirty
+	// FaultDUE: detected, unrecoverable — machine check.
+	FaultDUE
+)
+
+func (f FaultStatus) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultCorrectedClean:
+		return "corrected-clean"
+	case FaultCorrectedDirty:
+		return "corrected-dirty"
+	case FaultDUE:
+		return "DUE"
+	}
+	return "unknown"
+}
+
+// Scheme is one protection policy attached to a cache. The Controller
+// calls the hooks; set/way/granule coordinates refer to the controller's
+// cache.
+type Scheme interface {
+	Kind() Kind
+	Name() string
+
+	// CheckBitsPerGranule is the stored check-bit overhead per dirty
+	// granule, for area accounting.
+	CheckBitsPerGranule() int
+
+	// BitlineFactor scales bitline energy per access: 8 for physically
+	// bit-interleaved SECDED at L1 (Sec. 6.2), 1 otherwise.
+	BitlineFactor() float64
+
+	// OnFill (re)encodes check state for a freshly installed clean block.
+	OnFill(set, way int)
+
+	// VerifyGranule checks granule g, attempting correction of dirty data
+	// where the scheme supports it. needRefetch is true when the granule
+	// is clean-but-faulty and must be re-fetched by the controller.
+	VerifyGranule(set, way, g int, now uint64) (status FaultStatus, needRefetch bool)
+
+	// StoreNeedsOldData reports whether a store to granule g must first
+	// read the old contents (the read-before-write).
+	StoreNeedsOldData(set, way, g int) bool
+
+	// OnStore is called after the cache line holds the new data; old is
+	// the previous granule contents (nil unless StoreNeedsOldData or the
+	// controller captured it anyway) and wasDirty the previous state.
+	OnStore(set, way, g int, old []uint64, wasDirty bool, now uint64)
+
+	// OnEvict is called before a block leaves the cache (write-back or
+	// invalidation), while its data is still resident.
+	OnEvict(set, way int, now uint64)
+
+	// OnRefetchGranule is called after the controller refreshed a *clean*
+	// granule in place from the next level (clean-fault recovery). old is
+	// the granule's previous (possibly corrupted) contents; the line now
+	// holds the refreshed data.
+	OnRefetchGranule(set, way, g int, old []uint64)
+
+	// OnDowngrade is called when a block's dirty data has been written
+	// back but the block stays resident (a coherence M->S downgrade): the
+	// scheme must stop treating the granules as dirty, without removing
+	// the block from any whole-cache structures.
+	OnDowngrade(set, way int, now uint64)
+
+	// FillNeedsOldLine reports whether a miss fill must first read the
+	// victim line in its entirety (two-dimensional parity, Sec. 2).
+	FillNeedsOldLine() bool
+}

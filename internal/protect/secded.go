@@ -1,0 +1,109 @@
+package protect
+
+import (
+	"cppc/internal/cache"
+	"cppc/internal/parity"
+)
+
+// SECDEDScheme protects each dirty granule with an extended Hamming code:
+// (72,64) per word at L1 (combined with 8-way physical bit interleaving,
+// which shows up as an 8x bitline energy factor, Sec. 6.2), a single
+// block-level code at L2.
+type SECDEDScheme struct {
+	C    *cache.Cache
+	code *parity.Hamming
+	// Interleaved models physical bit interleaving (L1 configuration):
+	// it affects energy only, correction capability is per-codeword.
+	Interleaved bool
+}
+
+// NewSECDED attaches a SECDED code sized to the cache's dirty granule.
+func NewSECDED(c *cache.Cache, interleaved bool) *SECDEDScheme {
+	return &SECDEDScheme{
+		C:           c,
+		code:        parity.MustHamming(c.Cfg.DirtyGranuleWords * 64),
+		Interleaved: interleaved,
+	}
+}
+
+func (s *SECDEDScheme) Kind() Kind               { return KindSECDED }
+func (s *SECDEDScheme) Name() string             { return s.code.Name() }
+func (s *SECDEDScheme) CheckBitsPerGranule() int { return s.code.CheckBits() }
+func (s *SECDEDScheme) BitlineFactor() float64 {
+	if s.Interleaved {
+		return 8
+	}
+	return 1
+}
+func (s *SECDEDScheme) FillNeedsOldLine() bool { return false }
+
+func (s *SECDEDScheme) granule(set, way, g int) []uint64 {
+	gw := s.C.Cfg.DirtyGranuleWords
+	return s.C.Line(set, way).Data[g*gw : (g+1)*gw]
+}
+
+func (s *SECDEDScheme) encode(set, way, g int) {
+	gw := s.C.Cfg.DirtyGranuleWords
+	s.C.Line(set, way).Check[g*gw] = s.code.Encode(s.granule(set, way, g))
+}
+
+func (s *SECDEDScheme) OnFill(set, way int) {
+	for g := 0; g < s.C.Cfg.Granules(); g++ {
+		s.encode(set, way, g)
+	}
+}
+
+func (s *SECDEDScheme) VerifyGranule(set, way, g int, _ uint64) (FaultStatus, bool) {
+	gw := s.C.Cfg.DirtyGranuleWords
+	ln := s.C.Line(set, way)
+	data := s.granule(set, way, g)
+	res := s.code.Decode(data, ln.Check[g*gw])
+	switch res.Outcome {
+	case parity.SECDEDClean:
+		return FaultNone, false
+	case parity.SECDEDCorrectedData:
+		data[res.DataBit/64] ^= 1 << uint(res.DataBit%64)
+		if ln.Dirty[g] {
+			return FaultCorrectedDirty, false
+		}
+		return FaultCorrectedClean, false
+	case parity.SECDEDCorrectedCheck:
+		s.encode(set, way, g)
+		if ln.Dirty[g] {
+			return FaultCorrectedDirty, false
+		}
+		return FaultCorrectedClean, false
+	default: // double error
+		if ln.Dirty[g] {
+			return FaultDUE, false
+		}
+		return FaultCorrectedClean, true
+	}
+}
+
+func (s *SECDEDScheme) StoreNeedsOldData(int, int, int) bool { return false }
+
+func (s *SECDEDScheme) OnStore(set, way, g int, _ []uint64, _ bool, now uint64) {
+	gw := s.C.Cfg.DirtyGranuleWords
+	s.C.MarkDirty(set, way, g*gw, now)
+	s.encode(set, way, g)
+}
+
+func (s *SECDEDScheme) OnEvict(set, way int, _ uint64) {
+	ln := s.C.Line(set, way)
+	for g := range ln.Dirty {
+		s.C.MarkClean(set, way, g)
+	}
+}
+
+// OnRefetchGranule re-encodes the code for the refreshed granule.
+func (s *SECDEDScheme) OnRefetchGranule(set, way, g int, _ []uint64) {
+	s.encode(set, way, g)
+}
+
+// OnDowngrade marks the line clean.
+func (s *SECDEDScheme) OnDowngrade(set, way int, _ uint64) {
+	for g := range s.C.Line(set, way).Dirty {
+		s.C.MarkClean(set, way, g)
+	}
+}

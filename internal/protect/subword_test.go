@@ -1,0 +1,106 @@
+package protect
+
+import (
+	"math/rand"
+	"testing"
+
+	"cppc/internal/cache"
+	"cppc/internal/core"
+)
+
+func TestStoreSubMergesBytes(t *testing.T) {
+	c := testCache()
+	ct := NewController(c, MustCPPC(c, core.DefaultL1Config()), cache.NewMemory(32, 100))
+	ct.Store(0x40, 0x1111_2222_3333_4444, 1)
+	ct.StoreSub(0x40, 0xAB, 1, 2)       // byte 0
+	ct.StoreSub(0x43, 0xCD, 1, 3)       // byte 3
+	ct.StoreSub(0x44, 0xBEEF, 2, 4)     // halfword at offset 4
+	ct.StoreSub(0x40+8+4, 0xF00D, 4, 5) // word-32 in the next word
+	if got := ct.Load(0x40, 6).Value; got != 0x1111_BEEF_CD33_44AB {
+		t.Fatalf("merged word = %#x", got)
+	}
+	if got := ct.Load(0x48, 7).Value; got>>32 != 0xF00D {
+		t.Fatalf("second word = %#x", got)
+	}
+}
+
+func TestStoreSubKeepsInvariantAndRecovers(t *testing.T) {
+	c := testCache()
+	sch := MustCPPC(c, core.DefaultL1Config())
+	ct := NewController(c, sch, cache.NewMemory(32, 100))
+	rng := rand.New(rand.NewSource(5))
+	var now uint64
+	for i := 0; i < 3000; i++ {
+		now++
+		addr := uint64(rng.Intn(512)) * 8
+		size := []int{1, 2, 4, 8}[rng.Intn(4)]
+		sub := addr + uint64(rng.Intn(8/size)*size)
+		ct.StoreSub(sub, rng.Uint64(), size, now)
+	}
+	if err := sch.Engine.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// A fault in a byte-stored dirty word still recovers.
+	ct.Store(0x10, 0, now+1)
+	ct.StoreSub(0x11, 0x7e, 1, now+2)
+	set, way := c.Probe(0x10)
+	c.FlipBits(set, way, 2, 1<<4)
+	res := ct.Load(0x10, now+3)
+	if res.Fault != FaultCorrectedDirty || res.Value != 0x7e00 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestStoreSubRMWAccounting(t *testing.T) {
+	c := testCache()
+	ct := NewController(c, MustCPPC(c, core.DefaultL1Config()), cache.NewMemory(32, 100))
+	ct.StoreSub(0x40, 1, 1, 1) // clean word: RMW but no CPPC RBW
+	if ct.Stats.SubWordRMW != 1 || ct.Stats.ReadBeforeWrite != 0 {
+		t.Fatalf("stats after clean byte store: %+v", ct.Stats)
+	}
+	ct.StoreSub(0x41, 2, 1, 2) // now dirty: RMW doubles as the RBW
+	if ct.Stats.SubWordRMW != 2 || ct.Stats.ReadBeforeWrite != 1 {
+		t.Fatalf("stats after dirty byte store: %+v", ct.Stats)
+	}
+	// Full-word path is unchanged.
+	ct.StoreSub(0x48, 3, 8, 3)
+	if ct.Stats.SubWordRMW != 2 {
+		t.Fatalf("word-sized StoreSub counted as RMW: %+v", ct.Stats)
+	}
+}
+
+func TestStoreSubValidation(t *testing.T) {
+	c := testCache()
+	ct := NewController(c, NewParity1D(c, 8), cache.NewMemory(32, 100))
+	for _, bad := range []struct {
+		addr uint64
+		size int
+	}{{0x41, 2}, {0x42, 4}, {0x40, 3}, {0x40, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("StoreSub(%#x, size %d) did not panic", bad.addr, bad.size)
+				}
+			}()
+			ct.StoreSub(bad.addr, 0, bad.size, 1)
+		}()
+	}
+}
+
+func TestStoreSubAllSchemesRoundTrip(t *testing.T) {
+	for _, mk := range []func(*cache.Cache) Scheme{
+		func(c *cache.Cache) Scheme { return NewParity1D(c, 8) },
+		func(c *cache.Cache) Scheme { return NewSECDED(c, true) },
+		func(c *cache.Cache) Scheme { return NewTwoDim(c, 8) },
+		func(c *cache.Cache) Scheme { return MustCPPC(c, core.DefaultL1Config()) },
+	} {
+		c := testCache()
+		ct := NewController(c, mk(c), cache.NewMemory(32, 100))
+		ct.StoreSub(0x40, 0xAA, 1, 1)
+		ct.StoreSub(0x46, 0x1234, 2, 2)
+		want := uint64(0x1234_0000_0000_00AA)
+		if got := ct.Load(0x40, 3); got.Value != want || got.Fault != FaultNone {
+			t.Errorf("%s: %#x (fault %v), want %#x", ct.Scheme.Name(), got.Value, got.Fault, want)
+		}
+	}
+}

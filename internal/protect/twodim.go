@@ -1,0 +1,178 @@
+package protect
+
+import (
+	"fmt"
+
+	"cppc/internal/cache"
+	"cppc/internal/parity"
+)
+
+// TwoDim is the two-dimensional parity cache of Kim et al. [12] in the
+// configuration the paper evaluates: 8-way horizontal interleaved parity
+// per granule for detection, plus a single vertical parity row (the XOR of
+// every valid word in the cache) for correction.
+//
+// Keeping the vertical row current costs a read-before-write on every
+// store and a whole-line read on every miss fill — the energy overheads of
+// Figs. 11 and 12.
+type TwoDim struct {
+	C      *cache.Cache
+	Degree int
+	V      parity.Vertical
+}
+
+// NewTwoDim attaches two-dimensional parity to c.
+func NewTwoDim(c *cache.Cache, degree int) *TwoDim {
+	return &TwoDim{C: c, Degree: degree}
+}
+
+func (t *TwoDim) Kind() Kind               { return KindTwoDim }
+func (t *TwoDim) Name() string             { return fmt.Sprintf("parity-2d-%dway", t.Degree) }
+func (t *TwoDim) CheckBitsPerGranule() int { return t.Degree }
+func (t *TwoDim) BitlineFactor() float64   { return 1 }
+func (t *TwoDim) FillNeedsOldLine() bool   { return true }
+
+func (t *TwoDim) granule(set, way, g int) []uint64 {
+	gw := t.C.Cfg.DirtyGranuleWords
+	return t.C.Line(set, way).Data[g*gw : (g+1)*gw]
+}
+
+func (t *TwoDim) encode(set, way, g int) {
+	gw := t.C.Cfg.DirtyGranuleWords
+	t.C.Line(set, way).Check[g*gw] = granuleParity(t.granule(set, way, g), t.Degree)
+}
+
+// OnFill inserts the new line's words into the vertical row and encodes
+// horizontal parity. The departing line's words were removed by OnEvict.
+func (t *TwoDim) OnFill(set, way int) {
+	ln := t.C.Line(set, way)
+	for _, w := range ln.Data {
+		t.V.Insert(w)
+	}
+	for g := 0; g < t.C.Cfg.Granules(); g++ {
+		t.encode(set, way, g)
+	}
+}
+
+// OnEvict removes every word of the departing line from the vertical row.
+func (t *TwoDim) OnEvict(set, way int, _ uint64) {
+	ln := t.C.Line(set, way)
+	for _, w := range ln.Data {
+		t.V.Remove(w)
+	}
+	for g := range ln.Dirty {
+		t.C.MarkClean(set, way, g)
+	}
+}
+
+// StoreNeedsOldData: the defining cost — every store reads the old data
+// first so the vertical row can be updated.
+func (t *TwoDim) StoreNeedsOldData(int, int, int) bool { return true }
+
+func (t *TwoDim) OnStore(set, way, g int, old []uint64, _ bool, now uint64) {
+	gw := t.C.Cfg.DirtyGranuleWords
+	data := t.granule(set, way, g)
+	for j := range data {
+		t.V.Write(old[j], data[j])
+	}
+	t.C.MarkDirty(set, way, g*gw, now)
+	t.encode(set, way, g)
+}
+
+// VerifyGranule: horizontal parity detects; a clean faulty granule is
+// re-fetched; a dirty one is reconstructed from the vertical row, which
+// works for exactly one faulty word in the whole cache.
+func (t *TwoDim) VerifyGranule(set, way, g int, _ uint64) (FaultStatus, bool) {
+	gw := t.C.Cfg.DirtyGranuleWords
+	ln := t.C.Line(set, way)
+	if ln.Check[g*gw] == granuleParity(t.granule(set, way, g), t.Degree) {
+		return FaultNone, false
+	}
+	if !ln.Dirty[g] {
+		return FaultCorrectedClean, true
+	}
+	if t.reconstruct(set, way, g) {
+		return FaultCorrectedDirty, false
+	}
+	return FaultDUE, false
+}
+
+// reconstruct repairs one faulty word of granule g from the vertical row.
+// It XORs every other valid word in the cache (checking their horizontal
+// parity on the way: a second faulty granule anywhere makes the single
+// vertical row insufficient), then tries each word of the granule as the
+// faulty one and accepts the unique candidate that restores parity.
+func (t *TwoDim) reconstruct(set, way, g int) bool {
+	gw := t.C.Cfg.DirtyGranuleWords
+	target := t.C.Line(set, way)
+	secondFault := false
+	var othersXor uint64
+	t.C.ForEachValid(func(s, w int, ln *cache.Line) {
+		for gg := 0; gg < t.C.Cfg.Granules(); gg++ {
+			data := ln.Data[gg*gw : (gg+1)*gw]
+			if s == set && w == way && gg == g {
+				continue // target granule handled per candidate below
+			}
+			if ln.Check[gg*gw] != granuleParity(data, t.Degree) {
+				secondFault = true
+			}
+			for _, v := range data {
+				othersXor ^= v
+			}
+		}
+	})
+	if secondFault {
+		return false
+	}
+
+	data := t.granule(set, way, g)
+	stored := target.Check[g*gw]
+	corrected := -1
+	var value uint64
+	for cand := 0; cand < gw; cand++ {
+		// XOR of all words except the candidate = othersXor ^ (granule
+		// words other than cand).
+		x := othersXor
+		for j, v := range data {
+			if j != cand {
+				x ^= v
+			}
+		}
+		rec := t.V.Reconstruct(x)
+		// Accept if replacing the candidate restores horizontal parity.
+		saved := data[cand]
+		data[cand] = rec
+		ok := granuleParity(data, t.Degree) == stored
+		data[cand] = saved
+		if ok && rec != saved {
+			if corrected >= 0 {
+				return false // ambiguous
+			}
+			corrected, value = cand, rec
+		}
+	}
+	if corrected < 0 {
+		return false
+	}
+	data[corrected] = value
+	return true
+}
+
+// OnRefetchGranule swaps the granule's old (corrupted) words for the
+// refreshed ones in the vertical parity row and re-encodes the
+// horizontal parity.
+func (t *TwoDim) OnRefetchGranule(set, way, g int, old []uint64) {
+	data := t.granule(set, way, g)
+	for j := range data {
+		t.V.Write(old[j], data[j])
+	}
+	t.encode(set, way, g)
+}
+
+// OnDowngrade marks the line clean; the vertical row keeps covering the
+// still-resident words.
+func (t *TwoDim) OnDowngrade(set, way int, _ uint64) {
+	for g := range t.C.Line(set, way).Dirty {
+		t.C.MarkClean(set, way, g)
+	}
+}

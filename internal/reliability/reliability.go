@@ -1,0 +1,142 @@
+// Package reliability implements the analytical MTTF models of Sec. 6.3
+// (derived from the PARMA model [22] the paper uses):
+//
+//   - one-dimensional parity fails on the first fault in dirty data;
+//   - CPPC and SECDED fail when a second fault lands in the same
+//     protection domain within the vulnerability interval Tavg (the mean
+//     time between consecutive accesses to a dirty granule), before the
+//     first fault has been detected and corrected;
+//   - the Sec. 4.7 temporal-aliasing hazard needs a first fault anywhere
+//     in dirty data followed, within Tavg, by a second fault in one of a
+//     handful of specific aliasing bit positions.
+//
+// All rates assume SEUs arrive as a Poisson process at FITPerBit, and
+// only faults that would affect program output count (the AVF factor).
+package reliability
+
+import "fmt"
+
+// HoursPerYear converts MTTF hours to years (Julian year).
+const HoursPerYear = 8766
+
+// Params describes one cache's reliability inputs (Table 2 plus the
+// Sec. 6.3 assumptions).
+type Params struct {
+	FITPerBit     float64 // SEU rate per bit; the paper assumes 0.001 FIT/bit
+	AVF           float64 // architectural vulnerability factor; paper: 0.7
+	TotalBits     int     // data capacity in bits
+	DirtyFraction float64 // average fraction of dirty data (Table 2)
+	TavgCycles    float64 // mean interval between accesses to a dirty granule
+	FreqHz        float64 // clock, to convert Tavg to wall time
+}
+
+// Validate rejects nonsensical inputs.
+func (p Params) Validate() error {
+	switch {
+	case p.FITPerBit <= 0, p.AVF <= 0 || p.AVF > 1,
+		p.TotalBits <= 0, p.DirtyFraction < 0 || p.DirtyFraction > 1,
+		p.TavgCycles < 0, p.FreqHz <= 0:
+		return fmt.Errorf("reliability: invalid params %+v", p)
+	}
+	return nil
+}
+
+// PaperL1Params returns Table 2's L1 inputs: 32KB, 16% dirty, Tavg 1828
+// cycles at 3 GHz.
+func PaperL1Params() Params {
+	return Params{
+		FITPerBit: 0.001, AVF: 0.7,
+		TotalBits: 32 * 1024 * 8, DirtyFraction: 0.16,
+		TavgCycles: 1828, FreqHz: 3e9,
+	}
+}
+
+// PaperL2Params returns Table 2's L2 inputs: 1MB, 35% dirty, Tavg 378997
+// cycles.
+func PaperL2Params() Params {
+	return Params{
+		FITPerBit: 0.001, AVF: 0.7,
+		TotalBits: 1024 * 1024 * 8, DirtyFraction: 0.35,
+		TavgCycles: 378997, FreqHz: 3e9,
+	}
+}
+
+// lambda is the per-bit fault rate in 1/hour (1 FIT = 1e-9/hour).
+func (p Params) lambda() float64 { return p.FITPerBit * 1e-9 }
+
+// dirtyBits is the average vulnerable population.
+func (p Params) dirtyBits() float64 { return float64(p.TotalBits) * p.DirtyFraction }
+
+// tavgHours converts the vulnerability interval to hours.
+func (p Params) tavgHours() float64 { return p.TavgCycles / p.FreqHz / 3600 }
+
+// Parity1DMTTFYears: detection-only parity fails on the first fault in
+// dirty data (clean faults are recovered by re-fetch), derated by AVF.
+func Parity1DMTTFYears(p Params) float64 {
+	rate := p.lambda() * p.dirtyBits() * p.AVF
+	return 1 / rate / HoursPerYear
+}
+
+// DoubleFaultMTTFYears models CPPC and SECDED: the dirty data is split
+// into `domains` protection domains; a failure needs two faults in one
+// domain within one vulnerability interval Tavg. Per interval and domain,
+// P2 = (lambda * Nd * Tavg)^2 / 2 (two Poisson arrivals); the expected
+// number of intervals to failure is 1/(domains*P2), each lasting Tavg.
+func DoubleFaultMTTFYears(p Params, domains int) float64 {
+	if domains <= 0 {
+		panic("reliability: domains must be positive")
+	}
+	nd := p.dirtyBits() / float64(domains)
+	mu := p.lambda() * nd * p.tavgHours()
+	perDomain := mu * mu / 2
+	pFail := float64(domains) * perDomain
+	return p.tavgHours() / (pFail * p.AVF) / HoursPerYear
+}
+
+// CPPCDomains is the number of protection domains a CPPC carves the dirty
+// data into: one per parity stripe per register pair (Sec. 6.3: "a CPPC
+// with eight parity bits in effect has eight protection domains whose
+// size is 1/8 of the entire dirty data").
+func CPPCDomains(parityDegree, registerPairs int) int {
+	return parityDegree * registerPairs
+}
+
+// SECDEDDomains is the domain count for per-granule SECDED: one codeword
+// per dirty granule.
+func SECDEDDomains(p Params, codewordDataBits int) int {
+	d := int(p.dirtyBits() / float64(codewordDataBits))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// AliasingMTTFYears is the Sec. 4.7 hazard: after a first fault anywhere
+// in the dirty data, a second fault must hit one of `aliasBits` specific
+// bit positions within Tavg for the locator to miscorrect (turning a
+// 2-bit DUE into a 4-bit SDC). With one register pair there are 7 such
+// positions; 2 pairs leave 3, 4 pairs 1, and 8 pairs none.
+func AliasingMTTFYears(p Params, aliasBits int) float64 {
+	if aliasBits <= 0 {
+		return 0 // the hazard is structurally eliminated
+	}
+	rate := p.lambda() * p.dirtyBits() * // first fault
+		float64(aliasBits) * p.lambda() * p.tavgHours() * // aliasing second fault in time
+		p.AVF
+	return 1 / rate / HoursPerYear
+}
+
+// AliasBitsForPairs maps the register-pair count to the number of
+// aliasing-vulnerable positions per first fault (Sec. 4.7).
+func AliasBitsForPairs(pairs int) int {
+	switch pairs {
+	case 1:
+		return 7
+	case 2:
+		return 3
+	case 4:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,123 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+// within checks got is inside [want/factor, want*factor] — the right
+// criterion for MTTFs spanning 20 orders of magnitude.
+func within(t *testing.T, name string, got, want, factor float64) {
+	t.Helper()
+	if got < want/factor || got > want*factor {
+		t.Errorf("%s = %.3g years, want %.3g within %.1fx", name, got, want, factor)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := PaperL1Params().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PaperL1Params()
+	bad.AVF = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero AVF accepted")
+	}
+	bad = PaperL1Params()
+	bad.TotalBits = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// TestTable3Parity reproduces Table 3's one-dimensional parity rows:
+// 4490 years (L1), 64 years (L2).
+func TestTable3Parity(t *testing.T) {
+	within(t, "parity L1", Parity1DMTTFYears(PaperL1Params()), 4490, 1.6)
+	within(t, "parity L2", Parity1DMTTFYears(PaperL2Params()), 64, 1.6)
+}
+
+// TestTable3CPPC reproduces Table 3's CPPC rows: 8.02e21 years (L1),
+// 8.07e15 years (L2), for the evaluated 8-parity-bit, one-pair CPPC.
+func TestTable3CPPC(t *testing.T) {
+	domains := CPPCDomains(8, 1)
+	within(t, "CPPC L1", DoubleFaultMTTFYears(PaperL1Params(), domains), 8.02e21, 3)
+	within(t, "CPPC L2", DoubleFaultMTTFYears(PaperL2Params(), domains), 8.07e15, 3)
+}
+
+// TestTable3SECDED reproduces Table 3's SECDED rows: 6.2e23 years (L1,
+// per-word codewords), 1.1e19 years (L2, per-block codewords).
+func TestTable3SECDED(t *testing.T) {
+	l1 := PaperL1Params()
+	within(t, "SECDED L1", DoubleFaultMTTFYears(l1, SECDEDDomains(l1, 64)), 6.2e23, 3)
+	l2 := PaperL2Params()
+	within(t, "SECDED L2", DoubleFaultMTTFYears(l2, SECDEDDomains(l2, 256)), 1.1e19, 3)
+}
+
+// TestSection47Aliasing reproduces the Sec. 4.7 number: the mean time to
+// one aliasing miscorrection in the evaluated L2 is ~4.19e20 years.
+func TestSection47Aliasing(t *testing.T) {
+	got := AliasingMTTFYears(PaperL2Params(), AliasBitsForPairs(1))
+	within(t, "aliasing L2", got, 4.19e20, 3)
+	// And it is orders of magnitude above the CPPC DUE MTTF, as the paper
+	// argues ("5 orders of magnitudes larger").
+	due := DoubleFaultMTTFYears(PaperL2Params(), CPPCDomains(8, 1))
+	if got < due*1e3 {
+		t.Errorf("aliasing MTTF %.3g not far above DUE MTTF %.3g", got, due)
+	}
+}
+
+// TestOrderings: the qualitative Table 3 story — SECDED > CPPC >> parity,
+// and everything worsens from L1 to L2 (more dirty bits).
+func TestOrderings(t *testing.T) {
+	for _, p := range []Params{PaperL1Params(), PaperL2Params()} {
+		par := Parity1DMTTFYears(p)
+		cppc := DoubleFaultMTTFYears(p, CPPCDomains(8, 1))
+		sec := DoubleFaultMTTFYears(p, SECDEDDomains(p, 64))
+		if !(sec > cppc && cppc > par) {
+			t.Errorf("ordering violated: secded %.3g cppc %.3g parity %.3g", sec, cppc, par)
+		}
+	}
+	if Parity1DMTTFYears(PaperL2Params()) >= Parity1DMTTFYears(PaperL1Params()) {
+		t.Error("L2 should be less reliable than L1 under parity")
+	}
+}
+
+// TestScalingKnobs: Secs. 3.4 and 4.6 — more parity bits or more register
+// pairs scale reliability up.
+func TestScalingKnobs(t *testing.T) {
+	p := PaperL1Params()
+	base := DoubleFaultMTTFYears(p, CPPCDomains(8, 1))
+	moreParity := DoubleFaultMTTFYears(p, CPPCDomains(64, 1))
+	morePairs := DoubleFaultMTTFYears(p, CPPCDomains(8, 8))
+	if moreParity <= base || morePairs <= base {
+		t.Error("scaling up protection did not improve MTTF")
+	}
+	// Doubling domains halves the per-domain population: P2 per domain
+	// drops 4x, total halves the failure probability -> MTTF doubles.
+	d2 := DoubleFaultMTTFYears(p, CPPCDomains(8, 2))
+	if math.Abs(d2/base-2) > 0.01 {
+		t.Errorf("2x domains scaled MTTF by %.3f, want 2.0", d2/base)
+	}
+}
+
+func TestAliasBitsForPairs(t *testing.T) {
+	want := map[int]int{1: 7, 2: 3, 4: 1, 8: 0}
+	for pairs, bits := range want {
+		if got := AliasBitsForPairs(pairs); got != bits {
+			t.Errorf("AliasBitsForPairs(%d) = %d, want %d", pairs, got, bits)
+		}
+	}
+	if AliasingMTTFYears(PaperL1Params(), 0) != 0 {
+		t.Error("eliminated hazard should report 0 (structurally impossible)")
+	}
+}
+
+func TestDoubleFaultPanicsOnBadDomains(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero domains")
+		}
+	}()
+	DoubleFaultMTTFYears(PaperL1Params(), 0)
+}

@@ -1,0 +1,120 @@
+// Package tables renders experiment results as aligned text tables, the
+// output format shared by cmd/repro, cmd/cppcsim and the benchmark
+// harness.
+package tables
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of cells under a header.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with a title and column names.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row built from format/value pairs: each value is
+// formatted with %v unless it is a float64, which uses %.3f.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows; the
+// title becomes a leading comment line), for plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("# " + t.Title + "\n")
+	}
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Sci formats a float in scientific notation suited for MTTF years.
+func Sci(v float64) string { return fmt.Sprintf("%.2e", v) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

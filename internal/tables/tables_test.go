@@ -1,0 +1,70 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.Addf("beta", 2.5)
+	tb.Addf("gamma", 42)
+	s := tb.String()
+	if !strings.HasPrefix(s, "Title\n") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	for _, want := range []string{"name", "value", "alpha", "2.500", "42", "-----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: every line has the same separator position.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 rows
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestWideCellsWidenColumns(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("a-very-long-cell")
+	s := tb.String()
+	if !strings.Contains(s, "a-very-long-cell") {
+		t.Error("cell truncated")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Sci(8.02e21) != "8.02e+21" {
+		t.Errorf("Sci = %q", Sci(8.02e21))
+	}
+	if Pct(0.163) != "16.3%" {
+		t.Errorf("Pct = %q", Pct(0.163))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("A, title", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `quote"inside`)
+	s := tb.CSV()
+	want := "# A, title\nname,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n"
+	if s != want {
+		t.Errorf("CSV:\n%q\nwant:\n%q", s, want)
+	}
+	// No title -> no comment line.
+	tb2 := New("", "x")
+	tb2.AddRow("1")
+	if strings.HasPrefix(tb2.CSV(), "#") {
+		t.Error("untitled CSV has a comment line")
+	}
+}

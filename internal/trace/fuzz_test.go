@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace: arbitrary input must never panic; accepted traces must
+// replay without panicking.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("L 0x1000 1 2\nS 0x2000\nB m\nA\n")
+	f.Add("# comment only\n")
+	f.Add("L")
+	f.Add("B m 3 4\nM 1 0\nF\nX 2 2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		fs, err := ParseTrace(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for i := 0; i < fs.Len()+2; i++ {
+			in := fs.Next()
+			if (in.Op == OpLoad || in.Op == OpStore) && in.Addr%8 != 0 {
+				t.Fatalf("parser accepted misaligned address %#x", in.Addr)
+			}
+		}
+	})
+}

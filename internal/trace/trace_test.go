@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 15 {
+		t.Fatalf("want 15 profiles (the paper's benchmark set), got %d", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.LoadFrac+p.StoreFrac+p.BranchFrac >= 1 {
+			t.Errorf("%s: fractions exceed 1", p.Name)
+		}
+		if p.WorkingSetBytes < p.HotBytes || p.HotBytes <= 0 {
+			t.Errorf("%s: bad working-set geometry", p.Name)
+		}
+	}
+	for _, name := range []string{"gzip", "mcf", "swim", "applu"} {
+		if !seen[name] {
+			t.Errorf("missing benchmark %q", name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if p, ok := ProfileByName("mcf"); !ok || p.Name != "mcf" {
+		t.Error("mcf lookup failed")
+	}
+	if _, ok := ProfileByName("nonesuch"); ok {
+		t.Error("unknown name found")
+	}
+}
+
+func TestGenDeterminism(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	a, b := p.NewGen(7), p.NewGen(7)
+	for i := 0; i < 10000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("instruction %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+	c := p.NewGen(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMixMatchesProfile(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	g := p.NewGen(1)
+	const n = 200000
+	var loads, stores, branches int
+	for i := 0; i < n; i++ {
+		switch g.Next().Op {
+		case OpLoad:
+			loads++
+		case OpStore:
+			stores++
+		case OpBranch:
+			branches++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		frac := float64(got) / n
+		if frac < want-0.01 || frac > want+0.01 {
+			t.Errorf("%s fraction = %.3f, want ~%.3f", name, frac, want)
+		}
+	}
+	check("load", loads, p.LoadFrac)
+	check("store", stores, p.StoreFrac)
+	check("branch", branches, p.BranchFrac)
+}
+
+func TestAddressesWordAlignedAndBounded(t *testing.T) {
+	for _, p := range Profiles() {
+		g := p.NewGen(3)
+		for i := 0; i < 20000; i++ {
+			in := g.Next()
+			if in.Op != OpLoad && in.Op != OpStore {
+				continue
+			}
+			if in.Addr%8 != 0 {
+				t.Fatalf("%s: unaligned address %#x", p.Name, in.Addr)
+			}
+			// Loads live in the working set; the store-churn region sits
+			// directly above it.
+			if in.Addr >= uint64(p.WorkingSetBytes+p.StoreBytes) {
+				t.Fatalf("%s: address %#x outside footprint", p.Name, in.Addr)
+			}
+		}
+	}
+}
+
+func TestStoreRehitProducesRepeats(t *testing.T) {
+	p, _ := ProfileByName("eon") // highest rehit bias
+	g := p.NewGen(4)
+	seen := map[uint64]int{}
+	repeats := 0
+	stores := 0
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Op != OpStore {
+			continue
+		}
+		stores++
+		if seen[in.Addr] > 0 {
+			repeats++
+		}
+		seen[in.Addr]++
+	}
+	if stores == 0 || float64(repeats)/float64(stores) < 0.3 {
+		t.Fatalf("store rehit too low: %d/%d", repeats, stores)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	names := map[Op]string{
+		OpInt: "int", OpIntMul: "imul", OpFP: "fp", OpFPMul: "fmul",
+		OpBranch: "branch", OpLoad: "load", OpStore: "store", Op(99): "?",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", op, op.String())
+		}
+	}
+}
+
+func TestDependenciesWithinWindow(t *testing.T) {
+	p, _ := ProfileByName("swim")
+	g := p.NewGen(5)
+	for i := 0; i < 10000; i++ {
+		in := g.Next()
+		if in.Dep1 < 0 || in.Dep1 > p.DepDistance {
+			t.Fatalf("Dep1 = %d out of range", in.Dep1)
+		}
+		if in.Dep2 < 0 || in.Dep2 > 2*p.DepDistance {
+			t.Fatalf("Dep2 = %d out of range", in.Dep2)
+		}
+	}
+}
