@@ -1,0 +1,76 @@
+// Command cppcd serves the simulator as a long-running HTTP daemon:
+// submit simulation jobs (the paper's figure/table matrix, single-cell
+// simulations, Monte-Carlo fault campaigns), poll or stream their
+// progress, and fetch cached results for free on resubmission.
+//
+//	cppcd                          # listen on :8322
+//	cppcd -addr :9000 -workers 4   # bounded worker pool
+//
+//	curl -s localhost:8322/jobs -d '{"kind":"suite","budget":"quick","figures":["fig10"]}'
+//	curl -s localhost:8322/jobs/job-1
+//	curl -s localhost:8322/jobs/job-1/result
+//	curl -s localhost:8322/metrics
+//
+// SIGINT/SIGTERM stop the listener and drain in-flight jobs (bounded by
+// -drain) before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cppc/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8322", "listen address")
+		workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "queued jobs beyond the running ones")
+		cacheSz = flag.Int("cache", 256, "retained results in the content-addressed cache")
+		drain   = flag.Duration("drain", 2*time.Minute, "max time to drain in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cacheSz})
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("cppcd: listening on %s (%d workers, queue %d, cache %d)",
+		*addr, *workers, *queue, *cacheSz)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("cppcd: serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("cppcd: shutting down, draining jobs (up to %v)...", *drain)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener first so no new jobs arrive, then drain the pool.
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("cppcd: http shutdown: %v", err)
+		_ = srv.Close()
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("cppcd: drain deadline hit, canceled remaining jobs")
+		} else {
+			log.Printf("cppcd: drain: %v", err)
+		}
+	}
+	log.Printf("cppcd: bye")
+}

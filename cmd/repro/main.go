@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"cppc/internal/experiments"
 )
@@ -21,6 +25,8 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the reduced instruction budget")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		trials   = flag.Int("trials", 20, "Monte-Carlo trials per fault shape")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations in the suite")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		table1   = flag.Bool("table1", false, "print Table 1 (configuration)")
 		fig10    = flag.Bool("fig10", false, "reproduce Figure 10 (CPI)")
 		fig11    = flag.Bool("fig11", false, "reproduce Figure 11 (L1 energy)")
@@ -39,6 +45,25 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM (and -timeout) cancel the context; the simulation
+	// loops poll it, so an interrupted run exits cleanly mid-suite
+	// instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "repro: interrupted: %v\n", err)
+		os.Exit(1)
+	}
+	checkCtx := func() {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+		}
+	}
 	all := !(*table1 || *fig10 || *fig11 || *fig12 || *table2 || *table3 ||
 		*sec47 || *sec48 || *sec7 || *sec51 || *mc || *l3 || *coverage || *ablate)
 
@@ -55,9 +80,13 @@ func main() {
 	needSuite := all || *fig10 || *fig11 || *fig12 || *table2 || *table3
 	var suite *experiments.Suite
 	if needSuite {
-		fmt.Fprintf(os.Stderr, "simulating %d benchmarks x 4 schemes (%d+%d instructions each)...\n",
-			15, budget.Warmup, budget.Measure)
-		suite = experiments.RunSuite(budget)
+		fmt.Fprintf(os.Stderr, "simulating %d benchmarks x 4 schemes (%d+%d instructions each, %d-way parallel)...\n",
+			15, budget.Warmup, budget.Measure, *parallel)
+		var err error
+		suite, err = experiments.RunSuiteCtx(ctx, budget, experiments.SuiteOptions{Parallel: *parallel})
+		if err != nil {
+			fail(err)
+		}
 	}
 	if all || *fig10 {
 		if *csv {
@@ -93,24 +122,33 @@ func main() {
 		fmt.Println(experiments.Section48())
 	}
 	if all || *sec7 {
+		checkCtx()
 		fmt.Println(experiments.Section7Multicore(200_000, *seed))
 	}
 	if all || *sec51 {
 		fmt.Println(experiments.Section51Area(1))
 	}
 	if all || *mc {
+		checkCtx()
 		fmt.Fprintln(os.Stderr, "running Monte-Carlo lifetime campaigns...")
-		fmt.Println(experiments.MonteCarloValidation(*trials, *seed))
+		out, err := experiments.MonteCarloValidationCtx(ctx, *trials, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
 	}
 	if all || *l3 {
+		checkCtx()
 		fmt.Fprintln(os.Stderr, "running the L3 study...")
 		fmt.Println(experiments.SectionL3(budget))
 	}
 	if all || *coverage {
+		checkCtx()
 		fmt.Fprintf(os.Stderr, "running spatial coverage campaigns (%d trials/shape)...\n", *trials)
 		fmt.Println(experiments.SpatialCoverage(*trials, *seed))
 	}
 	if all || *ablate {
+		checkCtx()
 		fmt.Println(experiments.PairAblation(*trials, *seed))
 		fmt.Println(experiments.ParityAblation(*trials, *seed))
 		fmt.Println(experiments.SinglePortAblation(budget))

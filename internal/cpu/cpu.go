@@ -21,6 +21,8 @@
 package cpu
 
 import (
+	"context"
+
 	"cppc/internal/protect"
 	"cppc/internal/trace"
 )
@@ -197,9 +199,31 @@ func NewCore(cfg Config, d *protect.Controller) *Core {
 // Run executes n instructions from src (a synthetic generator or a
 // recorded trace) and returns timing results.
 func (c *Core) Run(src trace.Source, n int) Result {
+	res, _ := c.RunCtx(context.Background(), src, n)
+	return res
+}
+
+// cancelPollInstrs is how often RunCtx polls its context: rarely enough
+// that the check costs nothing against the per-instruction model, often
+// enough that multi-million-instruction runs abort within microseconds.
+const cancelPollInstrs = 4096
+
+// RunCtx is Run with cooperative cancellation: the context is polled
+// every few thousand instructions, and on cancellation the partial
+// result accumulated so far is returned alongside the context's error.
+func (c *Core) RunCtx(ctx context.Context, src trace.Source, n int) (Result, error) {
 	var res Result
 	var lastDone uint64
+	var err error
+	executed := uint64(n)
 	for i := uint64(0); i < uint64(n); i++ {
+		if i%cancelPollInstrs == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				executed = i
+				break
+			}
+		}
 		in := src.Next()
 		t := c.dispatch(i, in)
 		done := c.execute(i, in, t, &res)
@@ -213,12 +237,12 @@ func (c *Core) Run(src trace.Source, n int) Result {
 			break
 		}
 	}
-	res.Instructions = uint64(n)
+	res.Instructions = executed
 	res.Cycles = lastDone
 	if res.Instructions > 0 {
 		res.CPI = float64(res.Cycles) / float64(res.Instructions)
 	}
-	return res
+	return res, err
 }
 
 // SetICache attaches an instruction cache to the front end. codeBytes is

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"context"
+
 	"cppc/internal/cache"
 	"cppc/internal/core"
 	"cppc/internal/protect"
@@ -67,15 +69,29 @@ func RunBenchmarkWarm(prof trace.Profile, warmup, measure int, seed int64, sys *
 // RunSourceWarm is RunBenchmarkWarm over any instruction source (e.g. a
 // recorded trace file).
 func RunSourceWarm(src trace.Source, warmup, measure int, sys *System) Result {
+	res, _ := RunSourceWarmCtx(context.Background(), src, warmup, measure, sys)
+	return res
+}
+
+// RunSourceWarmCtx is RunSourceWarm with cooperative cancellation. On
+// cancellation the partial measurement is discarded and the context's
+// error returned.
+func RunSourceWarmCtx(ctx context.Context, src trace.Source, warmup, measure int, sys *System) (Result, error) {
 	core := NewCore(Table1Config(), sys.L1)
-	w := core.Run(src, warmup)
+	w, err := core.RunCtx(ctx, src, warmup)
+	if err != nil {
+		return Result{}, err
+	}
 	sys.L1.Stats = cache.Stats{}
 	sys.L2.Stats = cache.Stats{}
 	sys.L1.C.ResetSampling()
 	sys.L2.C.ResetSampling()
-	m := core.Run(src, measure)
+	m, err := core.RunCtx(ctx, src, measure)
+	if err != nil {
+		return Result{}, err
+	}
 	// core.Run returns cumulative cycles; subtract the warm-up portion.
 	m.Cycles -= w.Cycles
 	m.CPI = float64(m.Cycles) / float64(m.Instructions)
-	return m
+	return m, nil
 }

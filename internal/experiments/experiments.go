@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -80,15 +81,32 @@ type Run struct {
 // Simulate runs one benchmark under one scheme and collects everything
 // the figures need.
 func Simulate(prof trace.Profile, id SchemeID, b Budget) Run {
-	return SimulateSource(prof.Name, prof.NewGen(b.Seed), id, b)
+	r, _ := SimulateCtx(context.Background(), prof, id, b)
+	return r
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: the context is
+// polled inside the instruction loop, so even a multi-million-instruction
+// cell aborts promptly.
+func SimulateCtx(ctx context.Context, prof trace.Profile, id SchemeID, b Budget) (Run, error) {
+	return SimulateSourceCtx(ctx, prof.Name, prof.NewGen(b.Seed), id, b)
 }
 
 // SimulateSource is Simulate over any instruction source, e.g. a recorded
 // trace file.
 func SimulateSource(name string, src trace.Source, id SchemeID, b Budget) Run {
+	r, _ := SimulateSourceCtx(context.Background(), name, src, id, b)
+	return r
+}
+
+// SimulateSourceCtx is SimulateSource with cooperative cancellation.
+func SimulateSourceCtx(ctx context.Context, name string, src trace.Source, id SchemeID, b Budget) (Run, error) {
 	l1f, l2f := schemeFactories(id)
 	sys := cpu.NewSystem(l1f, l2f)
-	res := cpu.RunSourceWarm(src, b.Warmup, b.Measure, sys)
+	res, err := cpu.RunSourceWarmCtx(ctx, src, b.Warmup, b.Measure, sys)
+	if err != nil {
+		return Run{}, err
+	}
 	r := Run{Bench: name, Scheme: id, CPI: res.CPI, L1: sys.L1.Stats, L2: sys.L2.Stats}
 	r.L1Gran.Dirty = sys.L1.C.DirtyFraction()
 	r.L1Gran.Tavg = sys.L1.C.Tavg()
@@ -98,7 +116,7 @@ func SimulateSource(name string, src trace.Source, id SchemeID, b Budget) Run {
 		r.Folds.L1 = sys.L1.Scheme.(*protect.CPPCScheme).Engine.Events.Folds
 		r.Folds.L2 = sys.L2.Scheme.(*protect.CPPCScheme).Engine.Events.Folds
 	}
-	return r
+	return r, nil
 }
 
 // Suite holds one Run per (benchmark, scheme).
@@ -108,10 +126,31 @@ type Suite struct {
 	Order  []string                    // benchmark order
 }
 
+// SuiteOptions tunes how RunSuiteCtx schedules the experiment matrix.
+type SuiteOptions struct {
+	// Parallel bounds how many (benchmark, scheme) cells simulate
+	// concurrently; values <= 0 mean runtime.GOMAXPROCS(0).
+	Parallel int
+	// OnProgress, when non-nil, is called after each completed cell with
+	// the number of finished cells and the matrix size. Calls are
+	// serialized under an internal lock, so the callback must be quick
+	// and must not call back into the suite.
+	OnProgress func(done, total int)
+}
+
 // RunSuite simulates every benchmark under every scheme. The 60
 // (benchmark, scheme) runs are independent, so they execute in parallel;
 // results are deterministic for a given budget and seed.
 func RunSuite(b Budget) *Suite {
+	s, _ := RunSuiteCtx(context.Background(), b, SuiteOptions{})
+	return s
+}
+
+// RunSuiteCtx is RunSuite with cooperative cancellation and bounded
+// fan-out: a counting semaphore caps concurrent cells at opt.Parallel.
+// On cancellation the partial suite is discarded and the first error
+// (always the context's) is returned.
+func RunSuiteCtx(ctx context.Context, b Budget, opt SuiteOptions) (*Suite, error) {
 	profiles := trace.Profiles()
 	ids := []SchemeID{Parity1D, CPPC, SECDED, TwoDim}
 	s := &Suite{Budget: b, Runs: map[string]map[SchemeID]Run{}}
@@ -120,33 +159,56 @@ func RunSuite(b Budget) *Suite {
 		s.Runs[p.Name] = map[SchemeID]Run{}
 	}
 
-	type job struct {
-		prof trace.Profile
-		id   SchemeID
+	par := opt.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				run := Simulate(j.prof, j.id, b)
-				mu.Lock()
-				s.Runs[j.prof.Name][j.id] = run
-				mu.Unlock()
-			}
-		}()
-	}
+	total := len(profiles) * len(ids)
+	sem := make(chan struct{}, par)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		done     int
+		firstErr error
+	)
 	for _, p := range profiles {
 		for _, id := range ids {
-			jobs <- job{p, id}
+			wg.Add(1)
+			go func(p trace.Profile, id SchemeID) {
+				defer wg.Done()
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = ctx.Err()
+					}
+					mu.Unlock()
+					return
+				}
+				defer func() { <-sem }()
+				run, err := SimulateCtx(ctx, p, id, b)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				s.Runs[p.Name][id] = run
+				done++
+				if opt.OnProgress != nil {
+					opt.OnProgress(done, total)
+				}
+			}(p, id)
 		}
 	}
-	close(jobs)
 	wg.Wait()
-	return s
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s, nil
 }
 
 // Table1 renders the evaluation parameters (the paper's Table 1).

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cppc/internal/cache"
@@ -17,6 +18,13 @@ import (
 // compared with the analytical prediction evaluated at the same rate and
 // the campaign's own measured dirty population and Tavg.
 func MonteCarloValidation(trials int, seed int64) string {
+	s, _ := MonteCarloValidationCtx(context.Background(), trials, seed)
+	return s
+}
+
+// MonteCarloValidationCtx is MonteCarloValidation with cooperative
+// cancellation plumbed into the per-trial campaign loops.
+func MonteCarloValidationCtx(ctx context.Context, trials int, seed int64) (string, error) {
 	const (
 		lambda  = 2e-7 // faults per bit per access, accelerated
 		horizon = 200_000
@@ -25,8 +33,11 @@ func MonteCarloValidation(trials int, seed int64) string {
 		fmt.Sprintf("PARMA-style Monte-Carlo validation (lambda=%.0e/bit/access, %d trials)", lambda, trials),
 		"scheme", "measured MTTF", "analytic MTTF", "ratio", "DUE", "SDC", "censored", "lethality")
 
-	add := func(name string, mk fault.SchemeFactory, analytic func(fault.MCResult) float64) {
-		res := fault.MonteCarloMTTF(mk, lambda, trials, horizon, seed)
+	add := func(name string, mk fault.SchemeFactory, analytic func(fault.MCResult) float64) error {
+		res, err := fault.MonteCarloMTTFCtx(ctx, mk, lambda, trials, horizon, seed)
+		if err != nil {
+			return err
+		}
 		an := analytic(res)
 		ratio := res.MeanAccessesToFailure / an
 		t.Addf(name,
@@ -35,20 +46,25 @@ func MonteCarloValidation(trials int, seed int64) string {
 			fmt.Sprintf("%.2f", ratio),
 			res.DUEs, res.SDCs, res.Censored,
 			fmt.Sprintf("%.3f", res.MeasuredLethality()))
+		return nil
 	}
 
-	add("parity-1d",
+	if err := add("parity-1d",
 		func(c *cache.Cache) protect.Scheme { return protect.NewParity1D(c, 8) },
 		func(r fault.MCResult) float64 {
 			return fault.AnalyticParityMTTFAccesses(lambda, r.MeanDirtyBits)
-		})
-	add("cppc (8 stripes, 1 pair)",
+		}); err != nil {
+		return "", err
+	}
+	if err := add("cppc (8 stripes, 1 pair)",
 		func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, core.DefaultL1Config()) },
 		func(r fault.MCResult) float64 {
 			return fault.AnalyticDoubleFaultMTTFAccesses(lambda, r.MeanDirtyBits, r.MeanTavgAccesses, 8)
-		})
+		}); err != nil {
+		return "", err
+	}
 
 	return t.String() +
 		"ratios near 1 validate the Sec. 6.3 mathematics end to end; censored trials\n" +
-		"outlived the horizon (their lifetime is an underestimate)\n"
+		"outlived the horizon (their lifetime is an underestimate)\n", nil
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 
 	"cppc/internal/cache"
@@ -48,10 +49,25 @@ func (r MCResult) MeasuredLethality() float64 {
 // MonteCarloMTTF runs `trials` independent lifetimes under fault rate
 // lambda (faults per bit per access) with a horizon of maxAccesses.
 func MonteCarloMTTF(mk SchemeFactory, lambda float64, trials, maxAccesses int, seed int64) MCResult {
+	res, _ := MonteCarloMTTFCtx(context.Background(), mk, lambda, trials, maxAccesses, seed)
+	return res
+}
+
+// cancelPollAccesses is how often the trial loop polls its context.
+const cancelPollAccesses = 8192
+
+// MonteCarloMTTFCtx is MonteCarloMTTF with cooperative cancellation: the
+// context is polled between trials and every few thousand accesses inside
+// a trial, so long campaigns abort promptly. On cancellation the partial
+// campaign is discarded and the context's error returned.
+func MonteCarloMTTFCtx(ctx context.Context, mk SchemeFactory, lambda float64, trials, maxAccesses int, seed int64) (MCResult, error) {
 	var res MCResult
 	res.Trials = trials
 	var totalLife, totalDirty, totalTavg float64
 	for trial := 0; trial < trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return MCResult{}, err
+		}
 		rng := rand.New(rand.NewSource(seed + int64(trial)))
 		ccfg := campaignCacheConfig()
 		c := cache.New(ccfg)
@@ -67,6 +83,11 @@ func MonteCarloMTTF(mk SchemeFactory, lambda float64, trials, maxAccesses int, s
 		var now uint64
 		failed := false
 		for i := 0; i < maxAccesses && !failed; i++ {
+			if i%cancelPollAccesses == 0 {
+				if err := ctx.Err(); err != nil {
+					return MCResult{}, err
+				}
+			}
 			now++
 			// Fault arrivals.
 			for pFault > 0 && rng.Float64() < pFault {
@@ -108,7 +129,7 @@ func MonteCarloMTTF(mk SchemeFactory, lambda float64, trials, maxAccesses int, s
 	res.MeanAccessesToFailure = totalLife / float64(trials)
 	res.MeanDirtyBits = totalDirty / float64(trials)
 	res.MeanTavgAccesses = totalTavg / float64(trials)
-	return res
+	return res, nil
 }
 
 // AnalyticParityMTTFAccesses is the first-fault model in access units:

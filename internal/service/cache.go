@@ -1,0 +1,60 @@
+package service
+
+import "sync"
+
+// resultCache is a bounded content-addressed cache of finished job
+// results, keyed by the canonical spec hash. Eviction is FIFO by
+// insertion: the workload is "regenerate the same figures again", where
+// recency matters much less than simply retaining the recent working set.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*Result
+	order   []string
+	hits    uint64
+	misses  uint64
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &resultCache{max: max, entries: make(map[string]*Result)}
+}
+
+// get looks up a result and counts the hit or miss.
+func (c *resultCache) get(hash string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[hash]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+// put stores a result, evicting the oldest entry when full.
+func (c *resultCache) put(hash string, r *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[hash]; ok {
+		c.entries[hash] = r
+		return
+	}
+	if len(c.order) == c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[hash] = r
+	c.order = append(c.order, hash)
+}
+
+// stats returns the counters for /metrics.
+func (c *resultCache) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

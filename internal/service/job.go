@@ -1,0 +1,60 @@
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress counts completed work units (suite cells, campaign schemes).
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Result is what a finished job produced: rendered text artifacts (the
+// same tables cmd/repro prints) plus scalar values for machine use.
+type Result struct {
+	Kind      string             `json:"kind"`
+	Artifacts map[string]string  `json:"artifacts,omitempty"`
+	Values    map[string]float64 `json:"values,omitempty"`
+	ElapsedMs int64              `json:"elapsed_ms"`
+}
+
+// Job is one submitted unit of work. All fields are guarded by the
+// owning Service's mutex; handlers only ever see copies.
+type Job struct {
+	ID       string   `json:"id"`
+	Hash     string   `json:"hash"`
+	Spec     JobSpec  `json:"spec"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
+	CacheHit bool     `json:"cache_hit"`
+	Error    string   `json:"error,omitempty"`
+
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+
+	// Version increments on every observable change; the streaming
+	// endpoint uses it to emit only fresh snapshots.
+	Version int `json:"version"`
+
+	result *Result
+	cancel context.CancelFunc
+}

@@ -1,0 +1,76 @@
+package service
+
+import "time"
+
+// Metrics is the GET /metrics payload: queue pressure, worker
+// utilization, cache effectiveness and job latency, all since startup.
+type Metrics struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Workers           int     `json:"workers"`
+	BusyWorkers       int     `json:"busy_workers"`
+	WorkerUtilization float64 `json:"worker_utilization"` // busy-time fraction since start
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	JobsSubmitted int `json:"jobs_submitted"`
+	JobsRunning   int `json:"jobs_running"`
+	JobsCompleted int `json:"jobs_completed"`
+	JobsFailed    int `json:"jobs_failed"`
+	JobsCanceled  int `json:"jobs_canceled"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+
+	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms"`
+	RunMeanMs       float64 `json:"run_mean_ms"`
+	RunMaxMs        float64 `json:"run_max_ms"`
+}
+
+// Metrics snapshots the counters.
+func (s *Service) Metrics() Metrics {
+	hits, misses, entries := s.cache.stats()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	uptime := time.Since(s.started)
+	m := Metrics{
+		UptimeSec:     uptime.Seconds(),
+		Workers:       s.cfg.Workers,
+		BusyWorkers:   s.busy,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueSize,
+		JobsSubmitted: s.submitted,
+		JobsRunning:   s.busy,
+		JobsCompleted: s.completed,
+		JobsFailed:    s.failed,
+		JobsCanceled:  s.canceled,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEntries:  entries,
+	}
+	if total := hits + misses; total > 0 {
+		m.CacheHitRate = float64(hits) / float64(total)
+	}
+	// Count the in-flight busy time too, so utilization is honest while a
+	// long job is still running.
+	busyNs := s.busyNanos
+	for _, j := range s.jobs {
+		if j.State == StateRunning && j.Started != nil {
+			busyNs += time.Since(*j.Started).Nanoseconds()
+		}
+	}
+	if denom := uptime.Nanoseconds() * int64(s.cfg.Workers); denom > 0 {
+		m.WorkerUtilization = float64(busyNs) / float64(denom)
+	}
+	if s.ranJobs > 0 {
+		n := float64(s.ranJobs)
+		m.QueueWaitMeanMs = float64(s.waitNanos) / n / 1e6
+		m.RunMeanMs = float64(s.runNanos) / n / 1e6
+		m.RunMaxMs = float64(s.runNanosMax) / 1e6
+	}
+	return m
+}

@@ -1,0 +1,362 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cppc/internal/experiments"
+	"cppc/internal/trace"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	Workers   int // concurrent jobs; <= 0 means runtime.GOMAXPROCS(0)
+	QueueSize int // jobs waiting beyond the running ones; <= 0 means 64
+	CacheSize int // retained results; <= 0 means 256
+}
+
+// Errors surfaced to the HTTP layer.
+var (
+	ErrNotFound  = errors.New("no such job")
+	ErrQueueFull = errors.New("job queue is full")
+	ErrClosed    = errors.New("service is shutting down")
+)
+
+// Service owns the job table, the FIFO queue, the worker pool and the
+// result cache. One mutex guards the job table and every Job's fields;
+// snapshots returned to callers are copies.
+type Service struct {
+	cfg   Config
+	cache *resultCache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	queue  chan *Job
+	closed bool
+	nextID int
+
+	started   time.Time
+	busy      int   // workers currently running a job
+	busyNanos int64 // cumulative busy time across finished jobs
+
+	// Latency aggregates over jobs that actually ran (cache hits are
+	// excluded: they are free by construction).
+	waitNanos   int64 // submit -> start
+	runNanos    int64 // start -> finish
+	runNanosMax int64
+	ranJobs     int
+
+	submitted, completed, failed, canceled int
+
+	wg sync.WaitGroup
+}
+
+// New builds the service and starts its workers.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	s := &Service{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueSize),
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. A spec whose canonical hash is
+// already cached completes immediately (CacheHit set) without touching
+// the queue.
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	norm, err := spec.normalize()
+	if err != nil {
+		return Job{}, err
+	}
+	hash := norm.hash()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, ErrClosed
+	}
+	now := time.Now()
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Hash:      hash,
+		Spec:      norm,
+		State:     StateQueued,
+		Submitted: now,
+	}
+
+	if res, ok := s.cache.get(hash); ok {
+		job.State = StateDone
+		job.CacheHit = true
+		job.result = res
+		job.Progress = Progress{Done: 1, Total: 1}
+		job.Started, job.Finished = &now, &now
+		job.Version++
+		s.register(job)
+		s.submitted++
+		s.completed++
+		return *job, nil
+	}
+
+	select {
+	case s.queue <- job:
+	default:
+		return Job{}, ErrQueueFull
+	}
+	s.register(job)
+	s.submitted++
+	return *job, nil
+}
+
+// register must run under s.mu.
+func (s *Service) register(job *Job) {
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+}
+
+// Job returns a snapshot of one job.
+func (s *Service) Job(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return *j, nil
+}
+
+// JobResult returns a finished job's result.
+func (s *Service) JobResult(id string) (Job, *Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, nil, ErrNotFound
+	}
+	return *j, j.result, nil
+}
+
+// Jobs lists snapshots in submission order.
+func (s *Service) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. Terminal jobs are left alone
+// (the returned snapshot tells the caller which case they hit).
+func (s *Service) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	switch j.State {
+	case StateQueued:
+		// The job stays in the channel; the worker that drains it sees
+		// the terminal state and skips it.
+		now := time.Now()
+		j.State = StateCanceled
+		j.Error = "canceled before start"
+		j.Finished = &now
+		j.Version++
+		s.canceled++
+	case StateRunning:
+		j.cancel() // the worker observes ctx and finishes the transition
+	}
+	return *j, nil
+}
+
+// Shutdown stops accepting submissions and drains the queue: every
+// accepted job still runs to completion. When ctx expires first, the
+// remaining running jobs are canceled and Shutdown returns ctx's error
+// after the workers exit.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.State == StateRunning && j.cancel != nil {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the FIFO queue until shutdown closes it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Service) runJob(job *Job) {
+	s.mu.Lock()
+	if job.State != StateQueued { // canceled while waiting
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	now := time.Now()
+	job.cancel = cancel
+	job.State = StateRunning
+	job.Started = &now
+	job.Version++
+	s.busy++
+	s.mu.Unlock()
+
+	res, err := s.execute(ctx, job)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := time.Now()
+	runNs := end.Sub(*job.Started).Nanoseconds()
+	s.busy--
+	s.busyNanos += runNs
+	s.waitNanos += job.Started.Sub(job.Submitted).Nanoseconds()
+	s.runNanos += runNs
+	if runNs > s.runNanosMax {
+		s.runNanosMax = runNs
+	}
+	s.ranJobs++
+	job.Finished = &end
+	job.Version++
+	switch {
+	case err == nil:
+		job.State = StateDone
+		job.result = res
+		s.cache.put(job.Hash, res)
+		s.completed++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.State = StateCanceled
+		job.Error = "canceled"
+		s.canceled++
+	default:
+		job.State = StateFailed
+		job.Error = err.Error()
+		s.failed++
+	}
+}
+
+// setProgress publishes a progress update.
+func (s *Service) setProgress(job *Job, done, total int) {
+	s.mu.Lock()
+	job.Progress = Progress{Done: done, Total: total}
+	job.Version++
+	s.mu.Unlock()
+}
+
+// execute runs one job's work under its cancellation context.
+func (s *Service) execute(ctx context.Context, job *Job) (*Result, error) {
+	start := time.Now()
+	spec := job.Spec
+	res := &Result{Kind: spec.Kind, Artifacts: map[string]string{}}
+
+	switch spec.Kind {
+	case KindSuite:
+		s.setProgress(job, 0, len(trace.Profiles())*4)
+		suite, err := experiments.RunSuiteCtx(ctx, spec.budget(), experiments.SuiteOptions{
+			Parallel:   spec.Parallel,
+			OnProgress: func(done, total int) { s.setProgress(job, done, total) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		want := spec.Figures
+		if len(want) == 0 {
+			want = suiteArtifacts
+		}
+		for _, f := range want {
+			switch f {
+			case "fig10":
+				res.Artifacts[f] = suite.Figure10()
+			case "fig11":
+				res.Artifacts[f] = suite.Figure11()
+			case "fig12":
+				res.Artifacts[f] = suite.Figure12()
+			case "table2":
+				res.Artifacts[f] = suite.Table2String()
+			case "table3":
+				res.Artifacts[f] = suite.Table3()
+			}
+		}
+	case KindSimulate:
+		prof, _ := trace.ProfileByName(spec.Bench)
+		id, _ := parseScheme(spec.Scheme) // both validated by normalize
+		s.setProgress(job, 0, 1)
+		run, err := experiments.SimulateCtx(ctx, prof, id, spec.budget())
+		if err != nil {
+			return nil, err
+		}
+		s.setProgress(job, 1, 1)
+		res.Values = map[string]float64{
+			"cpi":            run.CPI,
+			"l1_misses":      float64(run.L1.Misses),
+			"l1_accesses":    float64(run.L1.Accesses()),
+			"l2_misses":      float64(run.L2.Misses),
+			"l2_accesses":    float64(run.L2.Accesses()),
+			"l1_dirty_frac":  run.L1Gran.Dirty,
+			"l2_dirty_frac":  run.L2Gran.Dirty,
+			"l1_tavg_cycles": run.L1Gran.Tavg,
+			"l2_tavg_cycles": run.L2Gran.Tavg,
+		}
+		res.Artifacts["summary"] = fmt.Sprintf("%s/%s: CPI %.4f (L1 %d/%d misses, L2 %d/%d)\n",
+			run.Bench, run.Scheme, run.CPI,
+			run.L1.Misses, run.L1.Accesses(), run.L2.Misses, run.L2.Accesses())
+	case KindMonteCarlo:
+		s.setProgress(job, 0, 1)
+		out, err := experiments.MonteCarloValidationCtx(ctx, spec.Trials, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.setProgress(job, 1, 1)
+		res.Artifacts["montecarlo"] = out
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", spec.Kind) // unreachable after normalize
+	}
+
+	res.ElapsedMs = time.Since(start).Milliseconds()
+	return res, nil
+}

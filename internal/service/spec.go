@@ -1,0 +1,181 @@
+// Package service exposes the simulator as a long-running daemon: a JSON
+// HTTP API to submit simulation jobs (the paper's figure/table matrix,
+// single-cell simulations, and Monte-Carlo fault campaigns), a bounded
+// worker pool with a FIFO queue and per-job cancellation, a
+// content-addressed result cache so repeated figure regenerations are
+// free, streaming job progress, and a /metrics endpoint. cmd/cppcd is
+// the thin binary around it.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"cppc/internal/experiments"
+	"cppc/internal/trace"
+)
+
+// Job kinds accepted by POST /jobs.
+const (
+	KindSuite      = "suite"      // full benchmark x scheme matrix + figures
+	KindSimulate   = "simulate"   // one benchmark under one protection scheme
+	KindMonteCarlo = "montecarlo" // PARMA-style Monte-Carlo lifetime campaign
+)
+
+// suiteArtifacts are the renderable outputs of a suite job, in canonical
+// order.
+var suiteArtifacts = []string{"fig10", "fig11", "fig12", "table2", "table3"}
+
+// JobSpec is the JSON body of POST /jobs. Unset fields take defaults
+// during normalization, so two specs that mean the same work hash to the
+// same cache key regardless of how explicit the client was.
+type JobSpec struct {
+	Kind string `json:"kind"`
+
+	// Budget names an instruction budget: "quick" or "default". Warmup
+	// and Measure, when both set, override it with a custom budget.
+	Budget  string `json:"budget,omitempty"`
+	Warmup  int    `json:"warmup,omitempty"`
+	Measure int    `json:"measure,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+
+	Bench  string `json:"bench,omitempty"`  // simulate: benchmark name
+	Scheme string `json:"scheme,omitempty"` // simulate: protection scheme
+
+	Trials int `json:"trials,omitempty"` // montecarlo: trials per scheme
+
+	// Figures restricts which suite artifacts are rendered (subset of
+	// fig10 fig11 fig12 table2 table3); empty means all of them.
+	Figures []string `json:"figures,omitempty"`
+
+	// Parallel bounds the suite job's internal fan-out (0 = GOMAXPROCS).
+	// It only affects scheduling, never results, so it is excluded from
+	// the cache key.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// parseScheme maps the wire names to experiments scheme IDs.
+func parseScheme(name string) (experiments.SchemeID, error) {
+	for _, id := range []experiments.SchemeID{
+		experiments.Parity1D, experiments.CPPC, experiments.SECDED, experiments.TwoDim,
+	} {
+		if id.String() == name {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want parity-1d, cppc, secded or parity-2d)", name)
+}
+
+// normalize validates the spec and fills every defaulted field, returning
+// the canonical form used for hashing and execution.
+func (s JobSpec) normalize() (JobSpec, error) {
+	n := s
+	switch n.Kind {
+	case KindSuite, KindSimulate, KindMonteCarlo:
+	case "":
+		return n, fmt.Errorf("missing job kind (want %s, %s or %s)", KindSuite, KindSimulate, KindMonteCarlo)
+	default:
+		return n, fmt.Errorf("unknown job kind %q", n.Kind)
+	}
+
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	if n.Warmup != 0 || n.Measure != 0 {
+		if n.Warmup < 0 || n.Measure <= 0 {
+			return n, fmt.Errorf("custom budget needs warmup >= 0 and measure > 0")
+		}
+		n.Budget = "custom"
+	} else {
+		switch n.Budget {
+		case "", "default":
+			n.Budget = "default"
+		case "quick":
+		default:
+			return n, fmt.Errorf("unknown budget %q (want quick or default)", n.Budget)
+		}
+	}
+	if n.Parallel < 0 {
+		n.Parallel = 0
+	}
+
+	switch n.Kind {
+	case KindSuite:
+		if n.Bench != "" || n.Scheme != "" {
+			return n, fmt.Errorf("suite jobs take no bench/scheme")
+		}
+		n.Trials = 0
+		seen := map[string]bool{}
+		var figs []string
+		for _, f := range n.Figures {
+			if !seen[f] {
+				seen[f] = true
+				figs = append(figs, f)
+			}
+		}
+		for _, f := range figs {
+			known := false
+			for _, k := range suiteArtifacts {
+				known = known || f == k
+			}
+			if !known {
+				return n, fmt.Errorf("unknown figure %q (want one of %v)", f, suiteArtifacts)
+			}
+		}
+		if len(figs) == 0 || len(figs) == len(suiteArtifacts) {
+			figs = nil // "all" is the canonical form
+		}
+		sort.Strings(figs)
+		n.Figures = figs
+	case KindSimulate:
+		if _, ok := trace.ProfileByName(n.Bench); !ok {
+			return n, fmt.Errorf("unknown benchmark %q", n.Bench)
+		}
+		if _, err := parseScheme(n.Scheme); err != nil {
+			return n, err
+		}
+		n.Trials = 0
+		n.Figures = nil
+	case KindMonteCarlo:
+		if n.Bench != "" || n.Scheme != "" {
+			return n, fmt.Errorf("montecarlo jobs take no bench/scheme")
+		}
+		if n.Trials <= 0 {
+			n.Trials = 20
+		}
+		n.Figures = nil
+		n.Budget, n.Warmup, n.Measure = "", 0, 0 // campaigns have their own horizon
+	}
+	return n, nil
+}
+
+// budget resolves the normalized spec's instruction budget.
+func (s JobSpec) budget() experiments.Budget {
+	var b experiments.Budget
+	switch s.Budget {
+	case "quick":
+		b = experiments.QuickBudget()
+	case "custom":
+		b = experiments.Budget{Warmup: s.Warmup, Measure: s.Measure}
+	default:
+		b = experiments.DefaultBudget()
+	}
+	b.Seed = s.Seed
+	return b
+}
+
+// hash is the content address of a normalized spec: a SHA-256 over its
+// canonical JSON with scheduling-only fields (Parallel) zeroed, so two
+// submissions that compute the same result share one cache entry.
+func (s JobSpec) hash() string {
+	s.Parallel = 0
+	raw, err := json.Marshal(s) // struct marshaling is deterministic
+	if err != nil {
+		panic("service: spec marshal: " + err.Error()) // unreachable: plain fields
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
