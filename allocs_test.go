@@ -1,0 +1,28 @@
+package cppc
+
+import "testing"
+
+// TestProtectedAccessPathAllocFree is the regression gate for the
+// allocation-free hot path: a resident load and a resident store through
+// the full CPPC controller stack (verify, R1/R2 fold, parity re-encode,
+// dirty tracking) must not allocate. A single stray append or interface
+// boxing on this path shows up here long before it shows up in a
+// benchmark.
+func TestProtectedAccessPathAllocFree(t *testing.T) {
+	ctrl, _ := newBenchController()
+	ctrl.Store(0x40, 1, 1) // make the block resident and dirty
+	now := uint64(2)
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		ctrl.Load(0x40, now)
+		now++
+	}); avg != 0 {
+		t.Errorf("protected load hit allocates %.1f objects per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		ctrl.Store(0x40, now, now)
+		now++
+	}); avg != 0 {
+		t.Errorf("protected store hit allocates %.1f objects per op, want 0", avg)
+	}
+}

@@ -1,0 +1,262 @@
+// Command bench is the repository's benchmark-regression harness. It
+// measures the figure pipelines and protection hot paths with
+// testing.Benchmark, compares the results against the newest committed
+// BENCH_<n>.json, and fails (exit 1) when any entry regresses beyond the
+// tolerance — in ns/op, or at all in allocs/op for the allocation-free
+// paths. With -write it records a new BENCH_<n+1>.json to become the next
+// baseline.
+//
+//	go run ./cmd/bench                 # compare against the latest BENCH_<n>.json
+//	go run ./cmd/bench -tolerance 0.5  # looser gate (noisy CI runners)
+//	go run ./cmd/bench -write          # record BENCH_<n+1>.json
+//
+// Numbers depend on the host; regenerate the baseline on the machine that
+// will compare against it, or keep the tolerance generous.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+
+	"cppc/internal/cache"
+	"cppc/internal/core"
+	"cppc/internal/experiments"
+	"cppc/internal/parity"
+	"cppc/internal/protect"
+	"cppc/internal/trace"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// File is the BENCH_<n>.json schema.
+type File struct {
+	Schema  int               `json:"schema"`
+	Go      string            `json:"go"`
+	Arch    string            `json:"arch"`
+	Results map[string]Result `json:"results"`
+}
+
+func benchBudget() experiments.Budget {
+	return experiments.Budget{Warmup: 20_000, Measure: 60_000, Seed: 1}
+}
+
+func benchProfiles() []trace.Profile {
+	var out []trace.Profile
+	for _, name := range []string{"crafty", "vortex", "mcf"} {
+		p, ok := trace.ProfileByName(name)
+		if !ok {
+			panic("missing profile " + name)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func newHotController() *protect.Controller {
+	c := cache.New(cache.L1DConfig())
+	s := protect.MustCPPC(c, core.DefaultL1Config())
+	return protect.NewController(c, s, cache.NewMemory(32, 200))
+}
+
+// entries lists the gated benchmarks: the end-to-end figure pipeline the
+// tentpole optimized, the two allocation-free hot paths, and the decode
+// kernels. Order is the report order.
+var entries = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"Figure10CPI", func(b *testing.B) {
+		b.ReportAllocs()
+		bud := benchBudget()
+		for i := 0; i < b.N; i++ {
+			for _, p := range benchProfiles() {
+				base := experiments.Simulate(p, experiments.Parity1D, bud)
+				cp := experiments.Simulate(p, experiments.CPPC, bud)
+				td := experiments.Simulate(p, experiments.TwoDim, bud)
+				if cp.CPI < base.CPI*0.99 || td.CPI < base.CPI*0.99 {
+					panic("CPI ordering broken")
+				}
+			}
+		}
+	}},
+	{"LoadHitCPPC", func(b *testing.B) {
+		b.ReportAllocs()
+		ctrl := newHotController()
+		ctrl.Store(0x40, 1, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctrl.Load(0x40, uint64(i+2))
+		}
+	}},
+	{"StoreHitCPPC", func(b *testing.B) {
+		b.ReportAllocs()
+		ctrl := newHotController()
+		ctrl.Store(0x40, 1, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctrl.Store(0x40, uint64(i), uint64(i+2))
+		}
+	}},
+	{"SECDEDDecode", func(b *testing.B) {
+		b.ReportAllocs()
+		var s parity.SECDED
+		w := uint64(0xdeadbeefcafebabe)
+		check := s.Encode(w)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := s.Decode(w, check); res.Outcome != parity.SECDEDClean {
+				panic("decode broke")
+			}
+		}
+	}},
+	{"HammingDecode256", func(b *testing.B) {
+		b.ReportAllocs()
+		h := parity.MustHamming(256)
+		data := []uint64{1, 2, 3, 4}
+		check := h.Encode(data)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := h.Decode(data, check); res.Outcome != parity.SECDEDClean {
+				panic("decode broke")
+			}
+		}
+	}},
+}
+
+var benchRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latest returns the highest-numbered BENCH_<n>.json in dir and its n,
+// or n == 0 if none exists.
+func latest(dir string) (string, int, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	best := 0
+	bestName := ""
+	for _, e := range names {
+		m := benchRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > best {
+			best, bestName = n, e.Name()
+		}
+	}
+	return bestName, best, nil
+}
+
+func measure() map[string]Result {
+	out := make(map[string]Result, len(entries))
+	for _, e := range entries {
+		fmt.Printf("running %-20s ... ", e.name)
+		r := testing.Benchmark(e.fn)
+		res := Result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		fmt.Printf("%12.1f ns/op  %6d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+		out[e.name] = res
+	}
+	return out
+}
+
+// compare reports every regression of cur vs base beyond tol (fractional,
+// e.g. 0.25 = +25%). Alloc counts are gated with the same rule, which for
+// a zero-alloc baseline means any allocation at all fails.
+func compare(base, cur map[string]Result, tol float64) []string {
+	var bad []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: present in baseline but not measured", name))
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (+%.0f%%, tolerance %.0f%%)",
+				name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol))
+		}
+		if float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
+				name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return bad
+}
+
+func main() {
+	var (
+		dir   = flag.String("dir", ".", "directory holding BENCH_<n>.json baselines")
+		tol   = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing")
+		write = flag.Bool("write", false, "record the measurements as the next BENCH_<n>.json")
+	)
+	flag.Parse()
+
+	baseName, n, err := latest(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	cur := measure()
+
+	if baseName != "" {
+		raw, err := os.ReadFile(filepath.Join(*dir, baseName))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		var base File
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", baseName, err)
+			os.Exit(2)
+		}
+		if bad := compare(base.Results, cur, *tol); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: regressions vs %s:\n", baseName)
+			for _, m := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", baseName, 100**tol)
+	} else {
+		fmt.Println("no BENCH_<n>.json baseline found; nothing to compare")
+	}
+
+	if *write {
+		out := File{Schema: 1, Go: runtime.Version(), Arch: runtime.GOOS + "/" + runtime.GOARCH, Results: cur}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		name := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n+1))
+		if err := os.WriteFile(name, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", name)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,16 +32,34 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8322", "listen address")
-		workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "queued jobs beyond the running ones")
-		cacheSz = flag.Int("cache", 256, "retained results in the content-addressed cache")
-		drain   = flag.Duration("drain", 2*time.Minute, "max time to drain in-flight jobs on shutdown")
+		addr      = flag.String("addr", ":8322", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "queued jobs beyond the running ones")
+		cacheSz   = flag.Int("cache", 256, "retained results in the content-addressed cache")
+		drain     = flag.Duration("drain", 2*time.Minute, "max time to drain in-flight jobs on shutdown")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cacheSz})
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(svc).Handler()}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the job-facing listener so exposing the
+		// service never exposes the profiler; bind -pprof to localhost.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("cppcd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("cppcd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

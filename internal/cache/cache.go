@@ -2,6 +2,8 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"cppc/internal/geometry"
 )
@@ -19,8 +21,6 @@ type Line struct {
 	// lastDirtyAccess[g] is the cycle of the previous access to dirty
 	// granule g, for the Table 2 Tavg measurement.
 	lastDirtyAccess []uint64
-
-	lru uint64 // higher = more recently used
 }
 
 // DirtyAny reports whether any granule of the line is dirty.
@@ -39,7 +39,32 @@ type Cache struct {
 	Cfg    Config
 	Geom   geometry.Layout
 	sets   [][]Line
+	lines  []Line // flat backing of sets, indexed set*nWays+way
 	lruClk uint64
+
+	// Probe/Victim-path mirrors of per-line state, flat-indexed
+	// set*nWays+way: scanning a set touches one or two cache lines instead
+	// of one fat Line struct per way. tags/valids are maintained by
+	// Install/Invalidate; lrus (higher = more recently used) by Touch.
+	tags   []uint64
+	valids []bool
+	lrus   []uint64
+
+	// Derived geometry, cached at construction: the Config methods divide
+	// on every call, and Sets()/Granules() sit on the per-access hot path
+	// (address decomposition, granule indexing, scrub/verify loops).
+	nSets        int
+	nWays        int
+	blockWords   int
+	granules     int    // granules per block
+	granuleWords int    // == Cfg.DirtyGranuleWords
+	blockBytes   uint64 // == Cfg.BlockBytes
+	setMask      uint64 // nSets-1 (Validate guarantees power-of-two sets)
+	setShift     uint   // log2(nSets)
+	blockShift   uint   // log2(blockBytes); valid only when blockPow2
+	blockPow2    bool   // block size is a power of two (32B in all Table 1 configs)
+	granShift    uint   // log2(granuleWords); valid only when granPow2
+	granPow2     bool
 
 	// Tavg / dirty-occupancy accounting (Table 2).
 	dirtyGranules   int     // currently dirty granules
@@ -49,6 +74,37 @@ type Cache struct {
 	tavgCount       uint64  // number of such intervals
 	totalGranules   int
 	granuleSizeBits int
+}
+
+// arena bundles one geometry's backing arrays (line structs plus the
+// probe mirrors; the data/check/dirty payloads stay alive through the Line
+// slice headers). Zeroing a 2MB level's arrays dominates short
+// simulations, so Release recycles arenas through a per-geometry pool and
+// New resets only what gates observable behaviour: an invalid line is
+// never read before Install and the scheme's OnFill rewrite its data,
+// check bits and dirty state.
+type arena struct {
+	lines  []Line
+	tags   []uint64
+	valids []bool
+	lrus   []uint64
+}
+
+type arenaKey struct{ nLines, blockWords, granules int }
+
+var arenaPools sync.Map // arenaKey -> *sync.Pool of *arena
+
+// Release returns the cache's backing arrays to the construction pool for
+// reuse by a future New of the same geometry. The cache — including any
+// Line pointers obtained from it — must not be used afterwards.
+func (c *Cache) Release() {
+	if c.lines == nil {
+		return
+	}
+	key := arenaKey{len(c.lines), c.blockWords, c.granules}
+	p, _ := arenaPools.LoadOrStore(key, new(sync.Pool))
+	p.(*sync.Pool).Put(&arena{lines: c.lines, tags: c.tags, valids: c.valids, lrus: c.lrus})
+	c.lines, c.sets, c.tags, c.valids, c.lrus = nil, nil, nil, nil, nil
 }
 
 // New builds an empty cache from a validated config.
@@ -61,30 +117,96 @@ func New(cfg Config) *Cache {
 		Cfg:             cfg,
 		Geom:            cfg.Layout(),
 		sets:            make([][]Line, cfg.Sets()),
+		nSets:           cfg.Sets(),
+		nWays:           cfg.Ways,
+		blockWords:      cfg.BlockWords(),
+		granules:        cfg.Granules(),
+		granuleWords:    cfg.DirtyGranuleWords,
+		blockBytes:      uint64(cfg.BlockBytes),
 		totalGranules:   cfg.Sets() * cfg.Ways * cfg.Granules(),
 		granuleSizeBits: cfg.DirtyGranuleWords * 64,
 	}
-	for s := range c.sets {
-		c.sets[s] = make([]Line, cfg.Ways)
-		for w := range c.sets[s] {
-			c.sets[s][w] = Line{
-				Data:            make([]uint64, cfg.BlockWords()),
-				Check:           make([]uint64, cfg.BlockWords()),
-				Dirty:           make([]bool, cfg.Granules()),
-				lastDirtyAccess: make([]uint64, cfg.Granules()),
+	c.setMask = uint64(c.nSets - 1)
+	c.setShift = uint(bits.TrailingZeros64(uint64(c.nSets)))
+	if c.blockBytes&(c.blockBytes-1) == 0 {
+		c.blockPow2 = true
+		c.blockShift = uint(bits.TrailingZeros64(c.blockBytes))
+	}
+	if gw := uint64(c.granuleWords); gw&(gw-1) == 0 {
+		c.granPow2 = true
+		c.granShift = uint(bits.TrailingZeros64(gw))
+	}
+	nLines := c.nSets * c.nWays
+	bw, ng := c.blockWords, c.granules
+	if p, ok := arenaPools.Load(arenaKey{nLines, bw, ng}); ok {
+		if a, _ := p.(*sync.Pool).Get().(*arena); a != nil {
+			c.lines, c.tags, c.valids, c.lrus = a.lines, a.tags, a.valids, a.lrus
+			for i := range c.lines {
+				c.lines[i].Valid = false
 			}
+			clear(c.valids)
+			for s := range c.sets {
+				c.sets[s] = c.lines[s*c.nWays : (s+1)*c.nWays : (s+1)*c.nWays]
+			}
+			return c
 		}
 	}
+	// One backing array per field, subsliced per line: construction cost is
+	// a handful of allocations instead of four per line, and line payloads
+	// end up contiguous in memory.
+	c.tags = make([]uint64, nLines)
+	c.valids = make([]bool, nLines)
+	c.lrus = make([]uint64, nLines)
+	lines := make([]Line, nLines)
+	data := make([]uint64, nLines*bw)
+	check := make([]uint64, nLines*bw)
+	dirty := make([]bool, nLines*ng)
+	lastAcc := make([]uint64, nLines*ng)
+	for i := range lines {
+		lines[i] = Line{
+			Data:            data[i*bw : (i+1)*bw : (i+1)*bw],
+			Check:           check[i*bw : (i+1)*bw : (i+1)*bw],
+			Dirty:           dirty[i*ng : (i+1)*ng : (i+1)*ng],
+			lastDirtyAccess: lastAcc[i*ng : (i+1)*ng : (i+1)*ng],
+		}
+	}
+	c.lines = lines
+	for s := range c.sets {
+		c.sets[s] = lines[s*c.nWays : (s+1)*c.nWays : (s+1)*c.nWays]
+	}
 	return c
+}
+
+// Cached geometry accessors: identical to the Cfg methods of the same
+// names, without the per-call division.
+func (c *Cache) Sets() int         { return c.nSets }
+func (c *Cache) Ways() int         { return c.nWays }
+func (c *Cache) BlockWords() int   { return c.blockWords }
+func (c *Cache) Granules() int     { return c.granules }
+func (c *Cache) GranuleWords() int { return c.granuleWords }
+
+// GranuleOf maps a word index within a block to its dirty granule.
+func (c *Cache) GranuleOf(word int) int {
+	if c.granPow2 {
+		return word >> c.granShift
+	}
+	return word / c.granuleWords
 }
 
 // Decompose splits a byte address into block tag, set index and word index
 // within the block.
 func (c *Cache) Decompose(addr uint64) (tag uint64, set, word int) {
-	block := addr / uint64(c.Cfg.BlockBytes)
-	set = int(block % uint64(c.Cfg.Sets()))
-	tag = block / uint64(c.Cfg.Sets())
-	word = int(addr%uint64(c.Cfg.BlockBytes)) / 8
+	var block, off uint64
+	if c.blockPow2 {
+		block = addr >> c.blockShift
+		off = addr & (c.blockBytes - 1)
+	} else {
+		block = addr / c.blockBytes
+		off = addr % c.blockBytes
+	}
+	set = int(block & c.setMask)
+	tag = block >> c.setShift
+	word = int(off >> 3)
 	return tag, set, word
 }
 
@@ -92,14 +214,15 @@ func (c *Cache) Decompose(addr uint64) (tag uint64, set, word int) {
 // line.
 func (c *Cache) BlockAddr(set, way int) uint64 {
 	ln := c.Line(set, way)
-	return (ln.Tag*uint64(c.Cfg.Sets()) + uint64(set)) * uint64(c.Cfg.BlockBytes)
+	return (ln.Tag<<c.setShift + uint64(set)) * c.blockBytes
 }
 
 // Probe looks up addr without changing any state. way is -1 on a miss.
 func (c *Cache) Probe(addr uint64) (set, way int) {
 	tag, s, _ := c.Decompose(addr)
-	for w := range c.sets[s] {
-		if ln := &c.sets[s][w]; ln.Valid && ln.Tag == tag {
+	row := s * c.nWays
+	for w := 0; w < c.nWays; w++ {
+		if c.valids[row+w] && c.tags[row+w] == tag {
 			return s, w
 		}
 	}
@@ -108,25 +231,25 @@ func (c *Cache) Probe(addr uint64) (set, way int) {
 
 // Line returns the line at (set, way). The pointer stays valid for the
 // lifetime of the cache.
-func (c *Cache) Line(set, way int) *Line { return &c.sets[set][way] }
+func (c *Cache) Line(set, way int) *Line { return &c.lines[set*c.nWays+way] }
 
 // Touch marks (set, way) most recently used.
 func (c *Cache) Touch(set, way int) {
 	c.lruClk++
-	c.sets[set][way].lru = c.lruClk
+	c.lrus[set*c.nWays+way] = c.lruClk
 }
 
 // Victim picks the replacement way in a set: an invalid way if one exists,
 // else true-LRU.
 func (c *Cache) Victim(set int) int {
+	row := set * c.nWays
 	best, bestLRU := 0, ^uint64(0)
-	for w := range c.sets[set] {
-		ln := &c.sets[set][w]
-		if !ln.Valid {
+	for w := 0; w < c.nWays; w++ {
+		if !c.valids[row+w] {
 			return w
 		}
-		if ln.lru < bestLRU {
-			best, bestLRU = w, ln.lru
+		if l := c.lrus[row+w]; l < bestLRU {
+			best, bestLRU = w, l
 		}
 	}
 	return best
@@ -145,6 +268,8 @@ func (c *Cache) Install(set, way int, addr uint64, data []uint64) {
 	}
 	ln.Tag = tag
 	ln.Valid = true
+	c.tags[set*c.nWays+way] = tag
+	c.valids[set*c.nWays+way] = true
 	copy(ln.Data, data)
 	for g := range ln.Dirty {
 		ln.Dirty[g] = false
@@ -161,6 +286,7 @@ func (c *Cache) Invalidate(set, way int) {
 		c.noteDirtyDelta(ln, -1)
 	}
 	ln.Valid = false
+	c.valids[set*c.nWays+way] = false
 }
 
 // noteDirtyDelta updates the dirty-granule population when a whole line
@@ -178,7 +304,7 @@ func (c *Cache) noteDirtyDelta(ln *Line, sign int) {
 // Tavg accounting.
 func (c *Cache) MarkDirty(set, way, word int, now uint64) {
 	ln := &c.sets[set][way]
-	g := word / c.Cfg.DirtyGranuleWords
+	g := c.GranuleOf(word)
 	if !ln.Dirty[g] {
 		ln.Dirty[g] = true
 		c.dirtyGranules++
@@ -199,8 +325,8 @@ func (c *Cache) MarkClean(set, way, g int) {
 // `word` for Tavg measurement: if the granule is dirty and was accessed
 // before, the interval is accumulated.
 func (c *Cache) TouchDirty(set, way, word int, now uint64) {
-	ln := &c.sets[set][way]
-	g := word / c.Cfg.DirtyGranuleWords
+	ln := &c.lines[set*c.nWays+way]
+	g := c.GranuleOf(word)
 	if !ln.Dirty[g] {
 		return
 	}

@@ -32,6 +32,16 @@ type Engine struct {
 	granuleWords int
 	r1, r2       [][]uint64 // [pair][element]
 
+	// Geometry tables, precomputed at construction: the rotation class of
+	// a granule is a pure function of its physical coordinates, and the
+	// per-store ClassOf -> CoordOf chain (index arithmetic with three
+	// divisions) was hot enough to matter. classTab/pairTab/rotTab are
+	// indexed by (set*ways+way)*granules + g.
+	classTab []uint8
+	pairTab  []uint8
+	rotTab   []uint8
+	granules int // granules per block, cached
+
 	// Sec. 4.9 register self-protection (EnableRegisterParity).
 	regParity    bool
 	r1Par, r2Par [][]uint64
@@ -47,12 +57,26 @@ func New(c *cache.Cache, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	g := c.Cfg.DirtyGranuleWords
-	e := &Engine{Cfg: cfg, C: c, granuleWords: g}
+	e := &Engine{Cfg: cfg, C: c, granuleWords: g, granules: c.Granules()}
 	e.r1 = make([][]uint64, cfg.RegisterPairs)
 	e.r2 = make([][]uint64, cfg.RegisterPairs)
 	for p := range e.r1 {
 		e.r1[p] = make([]uint64, g)
 		e.r2[p] = make([]uint64, g)
+	}
+	e.classTab = make([]uint8, c.Sets()*c.Ways()*e.granules)
+	e.pairTab = make([]uint8, len(e.classTab))
+	e.rotTab = make([]uint8, len(e.classTab))
+	for set := 0; set < c.Sets(); set++ {
+		for way := 0; way < c.Ways(); way++ {
+			for gi := 0; gi < e.granules; gi++ {
+				class := c.Geom.ClassOf(set, way, gi*g)
+				i := (set*c.Ways()+way)*e.granules + gi
+				e.classTab[i] = uint8(class)
+				e.pairTab[i] = uint8(cfg.PairOf(class))
+				e.rotTab[i] = uint8(cfg.RotationOf(class))
+			}
+		}
 	}
 	return e, nil
 }
@@ -69,9 +93,13 @@ func MustNew(c *cache.Cache, cfg Config) *Engine {
 // GranuleWords is the register width in 64-bit words.
 func (e *Engine) GranuleWords() int { return e.granuleWords }
 
-// R1 and R2 expose register snapshots (copies) for inspection and tests.
-func (e *Engine) R1(pair int) []uint64 { return append([]uint64(nil), e.r1[pair]...) }
-func (e *Engine) R2(pair int) []uint64 { return append([]uint64(nil), e.r2[pair]...) }
+// R1 and R2 expose the live register contents for inspection and tests.
+// The returned slices are read-only views: callers must not mutate them
+// (use FlipRegisterBits to inject register faults). They used to return
+// fresh copies on every call, which put an allocation on every recovery
+// and test probe for no benefit — no caller writes through them.
+func (e *Engine) R1(pair int) []uint64 { return e.r1[pair] }
+func (e *Engine) R2(pair int) []uint64 { return e.r2[pair] }
 
 // GranuleData returns the live data slice of granule g of a line.
 func (e *Engine) GranuleData(ln *cache.Line, g int) []uint64 {
@@ -81,7 +109,13 @@ func (e *Engine) GranuleData(ln *cache.Line, g int) []uint64 {
 // ClassOf is the rotation class of granule g of block (set, way): the
 // physical row (of the granule's first word) modulo 8.
 func (e *Engine) ClassOf(set, way, g int) int {
-	return e.C.Geom.ClassOf(set, way, g*e.granuleWords)
+	return int(e.classTab[(set*e.C.Ways()+way)*e.granules+g])
+}
+
+// geomOf returns the precomputed (pair, rotation) of a granule.
+func (e *Engine) geomOf(set, way, g int) (pair, rot int) {
+	i := (set*e.C.Ways()+way)*e.granules + g
+	return int(e.pairTab[i]), int(e.rotTab[i])
 }
 
 // fold XORs data (rotated right by rot bytes, the paper's barrel-shifter
@@ -115,13 +149,17 @@ func unfold(reg []uint64, rot int) []uint64 {
 
 // GranuleParity computes the interleaved parity bits of a granule: stripe s
 // is the XOR of every data bit whose index is congruent to s modulo the
-// degree, across all words of the granule.
+// degree, across all words of the granule. Parity is linear, so the words
+// are XORed together first and a single SWAR fold finishes the job.
 func (e *Engine) GranuleParity(data []uint64) uint64 {
-	var p uint64
+	var x uint64
 	for _, w := range data {
-		p ^= bitops.Parity(w, e.Cfg.ParityDegree)
+		x ^= w
 	}
-	return p
+	if e.Cfg.ParityDegree == 8 {
+		return bitops.Parity8(x)
+	}
+	return bitops.Parity(x, e.Cfg.ParityDegree)
 }
 
 // EncodeCheck recomputes and stores the parity bits for granule g.
@@ -149,16 +187,39 @@ func (e *Engine) OnFill(set, way int) {
 // previous dirty state. The new data is folded into R1 and, if the granule
 // was dirty, the displaced old data into R2 — the read-before-write of
 // Sec. 3.1. Check bits are re-encoded and the granule marked dirty.
-func (e *Engine) OnStore(set, way, g int, old []uint64, wasDirty bool, now uint64) {
-	class := e.ClassOf(set, way, g)
-	pair := e.Cfg.PairOf(class)
-	rot := e.Cfg.RotationOf(class)
+//
+// oldVerified reports that the caller ran the granule through the fault
+// checker in this same access before capturing old (the controller's
+// Store/StoreSub read-before-write path). In that case the stored check
+// bits are known to equal Parity(old), and parity's linearity lets the
+// check bits be maintained incrementally: check ^= Parity(old ^ new)
+// rewrites them to exactly Parity(new) without re-deriving anything —
+// the hardware's check-bit datapath (Sec. 3.1), and the same redundant
+// re-encode that silent-write ECC work elides. When old was captured
+// without a verify (the block write-back path), the full re-encode keeps
+// the legacy semantics: a latent fault overwritten by the store is healed
+// rather than flagged on the next read.
+func (e *Engine) OnStore(set, way, g int, old []uint64, wasDirty, oldVerified bool, now uint64) {
+	pair, rot := e.geomOf(set, way, g)
 	ln := e.C.Line(set, way)
-	e.foldReg(e.r1, e.r1Par, pair, e.GranuleData(ln, g), rot)
+	data := e.GranuleData(ln, g)
+	e.foldReg(e.r1, e.r1Par, pair, data, rot)
 	if wasDirty {
 		e.foldReg(e.r2, e.r2Par, pair, old, rot)
 	}
 	e.C.MarkDirty(set, way, g*e.granuleWords, now)
+	if oldVerified && old != nil {
+		var delta uint64
+		for j, w := range data {
+			delta ^= old[j] ^ w
+		}
+		if e.Cfg.ParityDegree == 8 {
+			ln.Check[g*e.granuleWords] ^= bitops.Parity8(delta)
+		} else {
+			ln.Check[g*e.granuleWords] ^= bitops.Parity(delta, e.Cfg.ParityDegree)
+		}
+		return
+	}
 	e.EncodeCheck(set, way, g)
 }
 
@@ -166,9 +227,7 @@ func (e *Engine) OnStore(set, way, g int, old []uint64, wasDirty bool, now uint6
 // invalidation): its current contents are folded into R2 and the granule
 // marked clean.
 func (e *Engine) OnRemoveDirty(set, way, g int) {
-	class := e.ClassOf(set, way, g)
-	pair := e.Cfg.PairOf(class)
-	rot := e.Cfg.RotationOf(class)
+	pair, rot := e.geomOf(set, way, g)
 	ln := e.C.Line(set, way)
 	e.foldReg(e.r2, e.r2Par, pair, e.GranuleData(ln, g), rot)
 	e.C.MarkClean(set, way, g)

@@ -79,7 +79,7 @@ func (h *harness) store(addr, val uint64) {
 	old := append([]uint64(nil), h.e.GranuleData(ln, g)...)
 	wasDirty := ln.Dirty[g]
 	ln.Data[word] = val
-	h.e.OnStore(set, way, g, old, wasDirty, h.now)
+	h.e.OnStore(set, way, g, old, wasDirty, false, h.now)
 }
 
 // storeBlock writes a whole granule (the L2 write-back path).
@@ -92,7 +92,7 @@ func (h *harness) storeBlock(addr uint64, vals []uint64) {
 	old := append([]uint64(nil), h.e.GranuleData(ln, g)...)
 	wasDirty := ln.Dirty[g]
 	copy(h.e.GranuleData(ln, g), vals)
-	h.e.OnStore(set, way, g, old, wasDirty, h.now)
+	h.e.OnStore(set, way, g, old, wasDirty, false, h.now)
 }
 
 // load reads a word, returning its value and the granule parity syndrome.

@@ -154,6 +154,11 @@ type Core struct {
 
 	// completion times of recent instructions, for dependencies (ring).
 	done []uint64
+	// Index masks for the rings when their length is a power of two (the
+	// Table 1 sizes all are); 0 selects the modulo fallback. The ring
+	// lengths are not compile-time constants, so i%len would be a real
+	// division on every instruction.
+	doneMask, ruuMask, lsqMask uint64
 	// ruuRing[i % RUUSize] is the completion time of instruction i; a new
 	// instruction cannot dispatch until the instruction RUUSize back has
 	// completed (in-order commit pressure).
@@ -173,6 +178,14 @@ type Core struct {
 	regionBase uint64 // current hot function's entry
 	lastIBlock uint64
 	lcg        uint64 // deterministic branch-target scrambler
+
+	// Batched instruction consumption (see RunCtx): the buffer lives on the
+	// core so instructions drawn but not executed (a run that halts
+	// mid-batch) are consumed by the next run instead of being lost, keeping
+	// the source's draw sequence identical to unbatched operation.
+	srcBuf         []trace.Instr
+	srcBufSrc      trace.Source
+	srcPos, srcLen int
 }
 
 // NewCore wires a core to a data-cache controller.
@@ -182,8 +195,15 @@ func NewCore(cfg Config, d *protect.Controller) *Core {
 	if cfg.SinglePorted {
 		wp = rp // all traffic through one port
 	}
+	ringMask := func(n int) uint64 {
+		if n > 0 && n&(n-1) == 0 {
+			return uint64(n - 1)
+		}
+		return 0
+	}
 	return &Core{
 		Cfg: cfg, D: d,
+		doneMask: ringMask(4096), ruuMask: ringMask(cfg.RUUSize), lsqMask: ringMask(cfg.LSQSize),
 		readPort:  rp,
 		writePort: wp,
 		intALU:    newPool(cfg.IntALU),
@@ -193,6 +213,7 @@ func NewCore(cfg Config, d *protect.Controller) *Core {
 		done:      make([]uint64, 4096),
 		ruuRing:   make([]uint64, cfg.RUUSize),
 		lsqRing:   make([]uint64, cfg.LSQSize),
+		srcBuf:    make([]trace.Instr, 256),
 	}
 }
 
@@ -201,6 +222,29 @@ func NewCore(cfg Config, d *protect.Controller) *Core {
 func (c *Core) Run(src trace.Source, n int) Result {
 	res, _ := c.RunCtx(context.Background(), src, n)
 	return res
+}
+
+// Ring index helpers: a mask when the ring length is a power of two, a
+// division otherwise.
+func (c *Core) doneIdx(i uint64) uint64 {
+	if c.doneMask != 0 {
+		return i & c.doneMask
+	}
+	return i % uint64(len(c.done))
+}
+
+func (c *Core) ruuIdx(i uint64) uint64 {
+	if c.ruuMask != 0 {
+		return i & c.ruuMask
+	}
+	return i % uint64(len(c.ruuRing))
+}
+
+func (c *Core) lsqIdx(i uint64) uint64 {
+	if c.lsqMask != 0 {
+		return i & c.lsqMask
+	}
+	return i % uint64(len(c.lsqRing))
 }
 
 // cancelPollInstrs is how often RunCtx polls its context: rarely enough
@@ -215,6 +259,16 @@ func (c *Core) RunCtx(ctx context.Context, src trace.Source, n int) (Result, err
 	var res Result
 	var lastDone uint64
 	var err error
+	// Batch-capable sources are consumed through the core's refill buffer,
+	// replacing one interface call per instruction with one per 256. Refills
+	// never draw past the n requested here, and leftovers (a halt mid-batch)
+	// carry over to the next run on this core, so the source sees exactly
+	// the demand-driven draw sequence.
+	bs, _ := src.(trace.BatchSource)
+	if src != c.srcBufSrc {
+		c.srcBufSrc = src
+		c.srcPos, c.srcLen = 0, 0
+	}
 	executed := uint64(n)
 	for i := uint64(0); i < uint64(n); i++ {
 		if i%cancelPollInstrs == 0 {
@@ -224,11 +278,25 @@ func (c *Core) RunCtx(ctx context.Context, src trace.Source, n int) (Result, err
 				break
 			}
 		}
-		in := src.Next()
+		var in trace.Instr
+		if bs != nil {
+			if c.srcPos == c.srcLen {
+				want := uint64(len(c.srcBuf))
+				if rem := uint64(n) - i; rem < want {
+					want = rem
+				}
+				c.srcLen = bs.NextBatch(c.srcBuf[:want])
+				c.srcPos = 0
+			}
+			in = c.srcBuf[c.srcPos]
+			c.srcPos++
+		} else {
+			in = src.Next()
+		}
 		t := c.dispatch(i, in)
 		done := c.execute(i, in, t, &res)
-		c.done[i%uint64(len(c.done))] = done
-		c.ruuRing[i%uint64(len(c.ruuRing))] = done
+		c.done[c.doneIdx(i)] = done
+		c.ruuRing[c.ruuIdx(i)] = done
 		if done > lastDone {
 			lastDone = done
 		}
@@ -311,24 +379,27 @@ func (c *Core) dispatch(i uint64, in trace.Instr) uint64 {
 
 	// RUU occupancy: the slot of instruction i-RUUSize must have drained.
 	if i >= uint64(len(c.ruuRing)) {
-		if d := c.ruuRing[i%uint64(len(c.ruuRing))]; d > t {
+		if d := c.ruuRing[c.ruuIdx(i)]; d > t {
 			t = d
 		}
 	}
 	// LSQ occupancy for memory ops.
 	if in.Op == trace.OpLoad || in.Op == trace.OpStore {
 		if c.memIdx >= uint64(len(c.lsqRing)) {
-			if d := c.lsqRing[c.memIdx%uint64(len(c.lsqRing))]; d > t {
+			if d := c.lsqRing[c.lsqIdx(c.memIdx)]; d > t {
 				t = d
 			}
 		}
 	}
 	// Data dependencies.
-	for _, dep := range []int{in.Dep1, in.Dep2} {
-		if dep > 0 && uint64(dep) <= i {
-			if d := c.done[(i-uint64(dep))%uint64(len(c.done))]; d > t {
-				t = d
-			}
+	if dep := in.Dep1; dep > 0 && uint64(dep) <= i {
+		if d := c.done[c.doneIdx(i-uint64(dep))]; d > t {
+			t = d
+		}
+	}
+	if dep := in.Dep2; dep > 0 && uint64(dep) <= i {
+		if d := c.done[c.doneIdx(i-uint64(dep))]; d > t {
+			t = d
 		}
 	}
 	return t
@@ -343,13 +414,14 @@ func (c *Core) execute(i uint64, in trace.Instr, t uint64, res *Result) uint64 {
 		// A 2D-parity miss must read the victim line out through the read
 		// port before the fill (Sec. 2).
 		start := c.readPort.reserve(t, 1+c.loadMissLineRead(in.Addr))
-		r := c.D.Load(in.Addr, start)
+		var r protect.AccessResult
+		c.D.LoadInto(in.Addr, start, &r)
 		if !r.Hit {
 			// The refill occupies the write port once it returns.
 			c.writePort.steal(1)
 		}
 		done = start + uint64(r.Latency)
-		c.lsqRing[c.memIdx%uint64(len(c.lsqRing))] = done
+		c.lsqRing[c.lsqIdx(c.memIdx)] = done
 		c.memIdx++
 	case trace.OpStore:
 		res.Stores++
@@ -370,9 +442,10 @@ func (c *Core) execute(i uint64, in trace.Instr, t uint64, res *Result) uint64 {
 			}
 		}
 		drain = c.writePort.reserve(drain, 1)
-		r := c.D.Store(in.Addr, i, drain) // stored value is arbitrary for timing
+		var r protect.AccessResult
+		c.D.StoreInto(in.Addr, i, drain, &r) // stored value is arbitrary for timing
 		done = t + 1
-		c.lsqRing[c.memIdx%uint64(len(c.lsqRing))] = drain + uint64(r.Latency-c.D.C.Cfg.HitLatencyCycles) + 1
+		c.lsqRing[c.lsqIdx(c.memIdx)] = drain + uint64(r.Latency-c.D.C.Cfg.HitLatencyCycles) + 1
 		c.memIdx++
 	case trace.OpBranch:
 		start := c.intALU.acquire(t, 1)
@@ -412,7 +485,7 @@ func (c *Core) storePortPlan(addr uint64) (wait bool, words int) {
 	case protect.KindCPPC:
 		if hit {
 			_, _, word := c.D.C.Decompose(addr)
-			g := word / c.D.C.Cfg.DirtyGranuleWords
+			g := c.D.C.GranuleOf(word)
 			if c.D.C.Line(set, way).Dirty[g] {
 				return false, 1
 			}

@@ -50,6 +50,15 @@ func NewSystem(mkL1, mkL2 SchemeFactory) *System {
 	return &System{L1: l1, L1I: li, L2: l2, Mem: mem}
 }
 
+// Release returns the system's cache arrays to the construction pool so
+// the next NewSystem skips their allocation. The system — including its
+// controllers and caches — must not be used afterwards.
+func (sys *System) Release() {
+	sys.L1.C.Release()
+	sys.L1I.C.Release()
+	sys.L2.C.Release()
+}
+
 // RunBenchmark executes n instructions of a benchmark profile on the
 // Table 1 processor with the given memory system, returning the timing
 // result. The system's controllers accumulate cache statistics for the

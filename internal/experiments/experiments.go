@@ -103,6 +103,7 @@ func SimulateSource(name string, src trace.Source, id SchemeID, b Budget) Run {
 func SimulateSourceCtx(ctx context.Context, name string, src trace.Source, id SchemeID, b Budget) (Run, error) {
 	l1f, l2f := schemeFactories(id)
 	sys := cpu.NewSystem(l1f, l2f)
+	defer sys.Release()
 	res, err := cpu.RunSourceWarmCtx(ctx, src, b.Warmup, b.Measure, sys)
 	if err != nil {
 		return Run{}, err

@@ -14,8 +14,11 @@ type Controller struct {
 	Stats  cache.Stats
 
 	// sampleEvery controls dirty-occupancy sampling (Table 2); a sample
-	// is taken every N accesses. 0 disables sampling.
+	// is taken every N accesses. 0 disables sampling. sampleLeft counts
+	// down to the next sample (a decrement instead of a per-access modulo,
+	// which is a hardware division).
 	sampleEvery uint64
+	sampleLeft  uint64
 	accessCount uint64
 
 	// Early write-back (the related-work technique of [2, 15], Sec. 2):
@@ -50,15 +53,36 @@ type Controller struct {
 	// Halted is set when a DUE occurred (the paper halts the program and
 	// raises a machine check); the simulator surfaces it to the caller.
 	Halted bool
+
+	// Scratch buffers keeping the access hot path allocation-free. Each
+	// has exactly one live use at a time: fillBuf holds fill data inside
+	// ensure, refetchBuf/refetchOld live inside refetch, and oldBuf holds
+	// the displaced old granule between its capture and the OnStore hook
+	// (which must not retain it — see Scheme.OnStore). Calls into the
+	// next level recurse into *that* controller's buffers, never back
+	// into these.
+	fillBuf    []uint64
+	refetchBuf []uint64
+	refetchOld []uint64
+	oldBuf     []uint64
 }
 
 // NewController wires a cache, a scheme and a backing level together.
 func NewController(c *cache.Cache, s Scheme, next cache.Backing) *Controller {
-	return &Controller{C: c, Scheme: s, Next: next, sampleEvery: 256}
+	return &Controller{
+		C: c, Scheme: s, Next: next, sampleEvery: 256, sampleLeft: 256,
+		fillBuf:    make([]uint64, c.BlockWords()),
+		refetchBuf: make([]uint64, c.BlockWords()),
+		refetchOld: make([]uint64, c.GranuleWords()),
+		oldBuf:     make([]uint64, c.GranuleWords()),
+	}
 }
 
 // SetSampleInterval adjusts dirty-occupancy sampling (0 disables).
-func (ct *Controller) SetSampleInterval(n uint64) { ct.sampleEvery = n }
+func (ct *Controller) SetSampleInterval(n uint64) {
+	ct.sampleEvery = n
+	ct.sampleLeft = n
+}
 
 // SetWriteThrough switches the controller to write-through operation:
 // stores update the cache and the next level together, and nothing is
@@ -86,8 +110,11 @@ func (ct *Controller) SetEarlyWriteback(interval uint64, batch int) {
 
 func (ct *Controller) tick() {
 	ct.accessCount++
-	if ct.sampleEvery > 0 && ct.accessCount%ct.sampleEvery == 0 {
-		ct.C.SampleDirtyOccupancy()
+	if ct.sampleEvery > 0 {
+		if ct.sampleLeft--; ct.sampleLeft == 0 {
+			ct.sampleLeft = ct.sampleEvery
+			ct.C.SampleDirtyOccupancy()
+		}
 	}
 	if ct.ewInterval > 0 && ct.accessCount%ct.ewInterval == 0 {
 		ct.earlyWriteback(ct.accessCount)
@@ -113,12 +140,12 @@ func (ct *Controller) scrub(now uint64) {
 			ct.verifyOnRead(ct.scrubSet, ct.scrubWay, ct.scrubGranule, now, &res)
 		}
 		ct.scrubGranule++
-		if ct.scrubGranule == ct.C.Cfg.Granules() {
+		if ct.scrubGranule == ct.C.Granules() {
 			ct.scrubGranule = 0
 			ct.scrubWay++
-			if ct.scrubWay == ct.C.Cfg.Ways {
+			if ct.scrubWay == ct.C.Ways() {
 				ct.scrubWay = 0
-				ct.scrubSet = (ct.scrubSet + 1) % ct.C.Cfg.Sets()
+				ct.scrubSet = (ct.scrubSet + 1) % ct.C.Sets()
 			}
 		}
 	}
@@ -128,7 +155,7 @@ func (ct *Controller) scrub(now uint64) {
 // blocks.
 func (ct *Controller) earlyWriteback(now uint64) {
 	cleaned := 0
-	sets := ct.C.Cfg.Sets()
+	sets := ct.C.Sets()
 	for scanned := 0; scanned < sets && cleaned < ct.ewBatch; scanned++ {
 		set := ct.ewCursor
 		ct.ewCursor = (ct.ewCursor + 1) % sets
@@ -180,9 +207,8 @@ func (ct *Controller) ensure(addr uint64, now uint64, res *AccessResult) (set, w
 		ct.Scheme.OnEvict(set, way, now)
 	}
 
-	buf := make([]uint64, ct.C.Cfg.BlockWords())
-	res.Latency += ct.Next.FetchBlock(addr, buf, now)
-	ct.C.Install(set, way, addr, buf)
+	res.Latency += ct.Next.FetchBlock(addr, ct.fillBuf, now)
+	ct.C.Install(set, way, addr, ct.fillBuf)
 	ct.Scheme.OnFill(set, way)
 	ct.Stats.Fills++
 	res.WritePortOps++ // one wide array write fills the line
@@ -195,16 +221,16 @@ func (ct *Controller) ensure(addr uint64, now uint64, res *AccessResult) (set, w
 // untouched.
 func (ct *Controller) refetch(set, way int, now uint64) int {
 	addr := ct.C.BlockAddr(set, way)
-	buf := make([]uint64, ct.C.Cfg.BlockWords())
-	lat := ct.Next.FetchBlock(addr, buf, now)
+	lat := ct.Next.FetchBlock(addr, ct.refetchBuf, now)
 	ln := ct.C.Line(set, way)
-	gw := ct.C.Cfg.DirtyGranuleWords
-	for g := 0; g < ct.C.Cfg.Granules(); g++ {
+	gw := ct.C.GranuleWords()
+	for g := 0; g < ct.C.Granules(); g++ {
 		if ln.Dirty[g] {
 			continue
 		}
-		old := append([]uint64(nil), ln.Data[g*gw:(g+1)*gw]...)
-		copy(ln.Data[g*gw:(g+1)*gw], buf[g*gw:(g+1)*gw])
+		old := ct.refetchOld[:gw]
+		copy(old, ln.Data[g*gw:(g+1)*gw])
+		copy(ln.Data[g*gw:(g+1)*gw], ct.refetchBuf[g*gw:(g+1)*gw])
 		ct.Scheme.OnRefetchGranule(set, way, g, old)
 	}
 	ct.Stats.CleanRefetches++
@@ -218,7 +244,7 @@ func (ct *Controller) refetch(set, way int, now uint64) int {
 // corrupted *clean* granule riding along in the block-granular write-back
 // (a clean faulty granule is refreshed from the next level first).
 func (ct *Controller) verifyDirtyGranules(set, way int, now uint64, res *AccessResult) {
-	for g := 0; g < ct.C.Cfg.Granules(); g++ {
+	for g := 0; g < ct.C.Granules(); g++ {
 		ct.verifyOnRead(set, way, g, now, res)
 	}
 }
@@ -248,37 +274,51 @@ func (ct *Controller) verifyOnRead(set, way, g int, now uint64, res *AccessResul
 
 // Load performs a word load at addr.
 func (ct *Controller) Load(addr, now uint64) AccessResult {
+	var res AccessResult
+	ct.LoadInto(addr, now, &res)
+	return res
+}
+
+// LoadInto is Load writing into a caller-provided result, saving the
+// by-value struct copy in the core's per-instruction loop. *res must be
+// zeroed.
+func (ct *Controller) LoadInto(addr, now uint64, res *AccessResult) {
 	ct.tick()
 	ct.Stats.Loads++
-	var res AccessResult
 	res.Latency = ct.C.Cfg.HitLatencyCycles
 	res.ReadPortOps++
-	set, way := ct.ensure(addr, now, &res)
+	set, way := ct.ensure(addr, now, res)
 	if res.Hit {
 		ct.Stats.LoadHits++
 	}
 	_, _, word := ct.C.Decompose(addr)
-	g := word / ct.C.Cfg.DirtyGranuleWords
+	g := ct.C.GranuleOf(word)
 	ct.C.TouchDirty(set, way, word, now)
 
-	ct.verifyOnRead(set, way, g, now, &res)
+	ct.verifyOnRead(set, way, g, now, res)
 	res.Value = ct.C.Line(set, way).Data[word]
-	return res
 }
 
 // Store performs a word store at addr (write-allocate).
 func (ct *Controller) Store(addr, val, now uint64) AccessResult {
+	var res AccessResult
+	ct.StoreInto(addr, val, now, &res)
+	return res
+}
+
+// StoreInto is Store writing into a caller-provided result; *res must be
+// zeroed.
+func (ct *Controller) StoreInto(addr, val, now uint64, res *AccessResult) {
 	ct.tick()
 	ct.Stats.Stores++
-	var res AccessResult
 	res.Latency = ct.C.Cfg.HitLatencyCycles
 	res.WritePortOps++
-	set, way := ct.ensure(addr, now, &res)
+	set, way := ct.ensure(addr, now, res)
 	if res.Hit {
 		ct.Stats.StoreHits++
 	}
 	_, _, word := ct.C.Decompose(addr)
-	g := word / ct.C.Cfg.DirtyGranuleWords
+	g := ct.C.GranuleOf(word)
 	ct.C.TouchDirty(set, way, word, now)
 
 	ln := ct.C.Line(set, way)
@@ -288,20 +328,23 @@ func (ct *Controller) Store(addr, val, now uint64) AccessResult {
 		// The read-before-write passes through the fault checker like any
 		// other read: a latent fault in the old value must be recovered
 		// *before* it is folded into the registers.
-		ct.verifyOnRead(set, way, g, now, &res)
-		old = append(old, ct.granule(ln, g)...)
+		ct.verifyOnRead(set, way, g, now, res)
+		old = ct.oldBuf[:len(ct.granule(ln, g))]
+		copy(old, ct.granule(ln, g))
 		ct.Stats.ReadBeforeWrite++
 		res.ReadPortOps++
 	}
+	// The old value just passed the fault checker (unless recovery failed
+	// with a DUE), so schemes may maintain check bits incrementally.
+	oldVerified := old != nil && res.Fault != FaultDUE
 	ln.Data[word] = val
-	ct.Scheme.OnStore(set, way, g, old, wasDirty, now)
+	ct.Scheme.OnStore(set, way, g, old, wasDirty, oldVerified, now)
 	if ct.writeThrough {
 		// The store reaches the next level immediately; the line carries
 		// no unique data and reverts to clean.
 		ct.Next.WriteBackBlock(ct.C.BlockAddr(set, way), ln.Data, now)
 		ct.Scheme.OnDowngrade(set, way, now)
 	}
-	return res
 }
 
 // StoreSub performs a sub-word store of `size` bytes (1, 2, 4 or 8) at
@@ -334,7 +377,7 @@ func (ct *Controller) StoreSub(addr, val uint64, size int, now uint64) AccessRes
 		ct.Stats.StoreHits++
 	}
 	_, _, word := ct.C.Decompose(wordAddr)
-	g := word / ct.C.Cfg.DirtyGranuleWords
+	g := ct.C.GranuleOf(word)
 	ct.C.TouchDirty(set, way, word, now)
 
 	ln := ct.C.Line(set, way)
@@ -346,7 +389,8 @@ func (ct *Controller) StoreSub(addr, val uint64, size int, now uint64) AccessRes
 	ct.verifyOnRead(set, way, g, now, &res)
 	ct.Stats.SubWordRMW++
 	res.ReadPortOps++
-	old := append([]uint64(nil), ct.granule(ln, g)...)
+	old := ct.oldBuf[:len(ct.granule(ln, g))]
+	copy(old, ct.granule(ln, g))
 	if ct.Scheme.StoreNeedsOldData(set, way, g) {
 		ct.Stats.ReadBeforeWrite++ // satisfied by the same RMW read
 	}
@@ -359,13 +403,13 @@ func (ct *Controller) StoreSub(addr, val uint64, size int, now uint64) AccessRes
 		mask = (uint64(1)<<(uint(size)*8) - 1) << shift
 	}
 	ln.Data[word] = (ln.Data[word] &^ mask) | ((val << shift) & mask)
-	ct.Scheme.OnStore(set, way, g, old, wasDirty, now)
+	ct.Scheme.OnStore(set, way, g, old, wasDirty, res.Fault != FaultDUE, now)
 	return res
 }
 
 // granule returns the data slice of granule g.
 func (ct *Controller) granule(ln *cache.Line, g int) []uint64 {
-	gw := ct.C.Cfg.DirtyGranuleWords
+	gw := ct.C.GranuleWords()
 	return ln.Data[g*gw : (g+1)*gw]
 }
 
@@ -381,8 +425,8 @@ func (ct *Controller) FetchBlock(addr uint64, dst []uint64, now uint64) int {
 	if res.Hit {
 		ct.Stats.LoadHits++
 	}
-	for g := 0; g < ct.C.Cfg.Granules(); g++ {
-		ct.C.TouchDirty(set, way, g*ct.C.Cfg.DirtyGranuleWords, now)
+	for g := 0; g < ct.C.Granules(); g++ {
+		ct.C.TouchDirty(set, way, g*ct.C.GranuleWords(), now)
 		status, needRefetch := ct.Scheme.VerifyGranule(set, way, g, now)
 		switch {
 		case status == FaultDUE:
@@ -413,17 +457,21 @@ func (ct *Controller) WriteBackBlock(addr uint64, src []uint64, now uint64) {
 		ct.Stats.StoreHits++
 	}
 	ln := ct.C.Line(set, way)
-	gw := ct.C.Cfg.DirtyGranuleWords
-	for g := 0; g < ct.C.Cfg.Granules(); g++ {
+	gw := ct.C.GranuleWords()
+	for g := 0; g < ct.C.Granules(); g++ {
 		ct.C.TouchDirty(set, way, g*gw, now)
 		wasDirty := ln.Dirty[g]
 		var old []uint64
 		if ct.Scheme.StoreNeedsOldData(set, way, g) {
-			old = append(old, ct.granule(ln, g)...)
+			old = ct.oldBuf[:gw]
+			copy(old, ct.granule(ln, g))
 			ct.Stats.ReadBeforeWrite++
 		}
 		copy(ct.granule(ln, g), src[g*gw:(g+1)*gw])
-		ct.Scheme.OnStore(set, way, g, old, wasDirty, now)
+		// The old value was captured without passing the fault checker, so
+		// check bits must be recomputed from scratch (oldVerified=false): a
+		// latent fault would otherwise surface as a spurious detection.
+		ct.Scheme.OnStore(set, way, g, old, wasDirty, false, now)
 	}
 }
 

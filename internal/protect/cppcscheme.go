@@ -68,8 +68,8 @@ func (s *CPPCScheme) StoreNeedsOldData(set, way, g int) bool {
 	return s.C.Line(set, way).Dirty[g]
 }
 
-func (s *CPPCScheme) OnStore(set, way, g int, old []uint64, wasDirty bool, now uint64) {
-	s.Engine.OnStore(set, way, g, old, wasDirty, now)
+func (s *CPPCScheme) OnStore(set, way, g int, old []uint64, wasDirty, oldVerified bool, now uint64) {
+	s.Engine.OnStore(set, way, g, old, wasDirty, oldVerified, now)
 }
 
 // OnEvict verifies departing dirty granules (recovering latent faults so

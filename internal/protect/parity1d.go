@@ -7,13 +7,24 @@ import (
 	"cppc/internal/cache"
 )
 
-// granuleParity computes degree-way interleaved parity over a granule.
-func granuleParity(data []uint64, degree int) uint64 {
-	var p uint64
-	for _, w := range data {
-		p ^= bitops.Parity(w, degree)
+// wordParity computes degree-way interleaved parity of one word,
+// dispatching to the unrolled kernel for the paper's evaluated degree.
+func wordParity(w uint64, degree int) uint64 {
+	if degree == 8 {
+		return bitops.Parity8(w)
 	}
-	return p
+	return bitops.Parity(w, degree)
+}
+
+// granuleParity computes degree-way interleaved parity over a granule.
+// Interleaved parity is linear and stripe-aligned across words, so the
+// words fold into one XOR first and a single SWAR kernel finishes.
+func granuleParity(data []uint64, degree int) uint64 {
+	var x uint64
+	for _, w := range data {
+		x ^= w
+	}
+	return wordParity(x, degree)
 }
 
 // Parity1D is the baseline: interleaved parity per granule, detection
@@ -49,7 +60,7 @@ func (p *Parity1D) encode(set, way, g int) {
 }
 
 func (p *Parity1D) OnFill(set, way int) {
-	for g := 0; g < p.C.Cfg.Granules(); g++ {
+	for g := 0; g < p.C.Granules(); g++ {
 		p.encode(set, way, g)
 	}
 }
@@ -68,7 +79,7 @@ func (p *Parity1D) VerifyGranule(set, way, g int, _ uint64) (FaultStatus, bool) 
 
 func (p *Parity1D) StoreNeedsOldData(int, int, int) bool { return false }
 
-func (p *Parity1D) OnStore(set, way, g int, _ []uint64, _ bool, now uint64) {
+func (p *Parity1D) OnStore(set, way, g int, _ []uint64, _, _ bool, now uint64) {
 	gw := p.C.Cfg.DirtyGranuleWords
 	p.C.MarkDirty(set, way, g*gw, now)
 	p.encode(set, way, g)

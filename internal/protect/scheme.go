@@ -100,7 +100,17 @@ type Scheme interface {
 	// OnStore is called after the cache line holds the new data; old is
 	// the previous granule contents (nil unless StoreNeedsOldData or the
 	// controller captured it anyway) and wasDirty the previous state.
-	OnStore(set, way, g int, old []uint64, wasDirty bool, now uint64)
+	// old, when non-nil, is a scratch view valid only for the duration of
+	// the call: schemes must fold or copy it before returning.
+	//
+	// oldVerified reports that the granule passed the fault checker in
+	// this same access, after which old was captured (the word-store
+	// read-before-write path): the stored check bits are then known
+	// consistent with old, which lets schemes maintain them incrementally
+	// (check ^= Parity(old^new)) instead of re-walking the granule. It is
+	// false on the block write-back path, where old is captured without a
+	// verify.
+	OnStore(set, way, g int, old []uint64, wasDirty, oldVerified bool, now uint64)
 
 	// OnEvict is called before a block leaves the cache (write-back or
 	// invalidation), while its data is still resident.

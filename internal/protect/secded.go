@@ -48,7 +48,7 @@ func (s *SECDEDScheme) encode(set, way, g int) {
 }
 
 func (s *SECDEDScheme) OnFill(set, way int) {
-	for g := 0; g < s.C.Cfg.Granules(); g++ {
+	for g := 0; g < s.C.Granules(); g++ {
 		s.encode(set, way, g)
 	}
 }
@@ -83,7 +83,7 @@ func (s *SECDEDScheme) VerifyGranule(set, way, g int, _ uint64) (FaultStatus, bo
 
 func (s *SECDEDScheme) StoreNeedsOldData(int, int, int) bool { return false }
 
-func (s *SECDEDScheme) OnStore(set, way, g int, _ []uint64, _ bool, now uint64) {
+func (s *SECDEDScheme) OnStore(set, way, g int, _ []uint64, _, _ bool, now uint64) {
 	gw := s.C.Cfg.DirtyGranuleWords
 	s.C.MarkDirty(set, way, g*gw, now)
 	s.encode(set, way, g)

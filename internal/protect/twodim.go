@@ -49,7 +49,7 @@ func (t *TwoDim) OnFill(set, way int) {
 	for _, w := range ln.Data {
 		t.V.Insert(w)
 	}
-	for g := 0; g < t.C.Cfg.Granules(); g++ {
+	for g := 0; g < t.C.Granules(); g++ {
 		t.encode(set, way, g)
 	}
 }
@@ -69,13 +69,24 @@ func (t *TwoDim) OnEvict(set, way int, _ uint64) {
 // first so the vertical row can be updated.
 func (t *TwoDim) StoreNeedsOldData(int, int, int) bool { return true }
 
-func (t *TwoDim) OnStore(set, way, g int, old []uint64, _ bool, now uint64) {
+func (t *TwoDim) OnStore(set, way, g int, old []uint64, _, oldVerified bool, now uint64) {
 	gw := t.C.Cfg.DirtyGranuleWords
 	data := t.granule(set, way, g)
 	for j := range data {
 		t.V.Write(old[j], data[j])
 	}
 	t.C.MarkDirty(set, way, g*gw, now)
+	if oldVerified {
+		// The read-before-write just verified the granule, so the stored
+		// check bits equal granuleParity(old) and can be maintained
+		// incrementally; see Scheme.OnStore.
+		var delta uint64
+		for j, w := range data {
+			delta ^= old[j] ^ w
+		}
+		t.C.Line(set, way).Check[g*gw] ^= wordParity(delta, t.Degree)
+		return
+	}
 	t.encode(set, way, g)
 }
 
@@ -108,7 +119,7 @@ func (t *TwoDim) reconstruct(set, way, g int) bool {
 	secondFault := false
 	var othersXor uint64
 	t.C.ForEachValid(func(s, w int, ln *cache.Line) {
-		for gg := 0; gg < t.C.Cfg.Granules(); gg++ {
+		for gg := 0; gg < t.C.Granules(); gg++ {
 			data := ln.Data[gg*gw : (gg+1)*gw]
 			if s == set && w == way && gg == g {
 				continue // target granule handled per candidate below

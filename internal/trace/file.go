@@ -15,7 +15,19 @@ type Source interface {
 	Next() Instr
 }
 
-var _ Source = (*Gen)(nil)
+// BatchSource is an optional Source extension: the consumer hands over a
+// buffer and gets it refilled in one call, amortising the per-instruction
+// interface dispatch. A BatchSource must draw exactly the stream repeated
+// Next calls would, so the two access styles can be mixed freely.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Instr) int
+}
+
+var (
+	_ Source      = (*Gen)(nil)
+	_ BatchSource = (*Gen)(nil)
+)
 
 // The trace text format, one instruction per line:
 //
@@ -73,7 +85,7 @@ func parseDeps(fields []string, lineNo int, in *Instr) error {
 	if err1 != nil || err2 != nil || d1 < 0 || d2 < 0 {
 		return fmt.Errorf("trace line %d: bad dependencies %v", lineNo, fields)
 	}
-	in.Dep1, in.Dep2 = d1, d2
+	in.Dep1, in.Dep2 = int32(d1), int32(d2)
 	return nil
 }
 

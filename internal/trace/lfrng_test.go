@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLFRandMatchesMathRand locks lfRand to the stdlib stream: for the
+// same seed, an interleaved sequence of every method the generator
+// exposes must match rand.New(rand.NewSource(seed)) draw for draw. The
+// trace generator's determinism guarantee (and therefore every figure's
+// bit-exact reproducibility against earlier releases) rests on this.
+func TestLFRandMatchesMathRand(t *testing.T) {
+	seeds := []int64{0, 1, 42, -7, 89482311, 1<<62 + 12345, -(1 << 40)}
+	sizes := []int{1, 2, 3, 5, 7, 8, 16, 64, 100, 4096, 1 << 20, int32max, int32max + 1, 1 << 40}
+	for _, seed := range seeds {
+		ref := rand.New(rand.NewSource(seed))
+		got := newLFRand(seed)
+		for i := 0; i < 20000; i++ {
+			switch i % 4 {
+			case 0:
+				if g, w := got.Float64(), ref.Float64(); g != w {
+					t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, g, w)
+				}
+			case 1:
+				n := sizes[i%len(sizes)]
+				if g, w := got.Intn(n), ref.Intn(n); g != w {
+					t.Fatalf("seed %d draw %d: Intn(%d) = %d, want %d", seed, i, n, g, w)
+				}
+			case 2:
+				if g, w := got.Int63(), ref.Int63(); g != w {
+					t.Fatalf("seed %d draw %d: Int63 = %d, want %d", seed, i, g, w)
+				}
+			case 3:
+				if g, w := got.Int31(), ref.Int31(); g != w {
+					t.Fatalf("seed %d draw %d: Int31 = %d, want %d", seed, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestLFRandIntnPanics mirrors math/rand's contract on invalid bounds.
+func TestLFRandIntnPanics(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			newLFRand(1).Intn(n)
+		}()
+	}
+}

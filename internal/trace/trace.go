@@ -9,8 +9,6 @@
 // Generation is deterministic for a given (profile, seed).
 package trace
 
-import "math/rand"
-
 // Op classifies an instruction for the timing model.
 type Op uint8
 
@@ -45,11 +43,13 @@ func (o Op) String() string {
 }
 
 // Instr is one dynamic instruction. Dep1/Dep2 are producer distances (how
-// many instructions back), 0 meaning no register dependency.
+// many instructions back), 0 meaning no register dependency. The struct is
+// kept at 16 bytes plus the address — it is copied twice per simulated
+// instruction through the batching buffers.
 type Instr struct {
-	Op         Op
 	Addr       uint64 // word-aligned effective address (loads/stores)
-	Dep1, Dep2 int
+	Dep1, Dep2 int32
+	Op         Op
 	Mispredict bool // branches only: this branch flushes the front end
 }
 
@@ -83,7 +83,7 @@ type Profile struct {
 // Gen produces the dynamic stream.
 type Gen struct {
 	p   Profile
-	rng *rand.Rand
+	rng *lfRand
 
 	seqAddr      uint64
 	storeAddr    uint64 // fresh-store sweep pointer
@@ -91,15 +91,26 @@ type Gen struct {
 	driftAcc     int    // fractional drift accumulator (per-mille)
 	recentStores []uint64
 	rsHead       int
+
+	// Draw bounds fixed by the profile, precomputed once (see lfBound).
+	depB, dep2B, rsB, hotB, wsB lfBound
 }
 
 // NewGen builds a deterministic generator for the profile.
 func (p Profile) NewGen(seed int64) *Gen {
-	return &Gen{
+	g := &Gen{
 		p:            p,
-		rng:          rand.New(rand.NewSource(seed)),
+		rng:          newLFRand(seed),
 		recentStores: make([]uint64, 64),
 	}
+	if p.DepDistance > 0 {
+		g.depB = makeBound(p.DepDistance)
+		g.dep2B = makeBound(p.DepDistance * 2)
+	}
+	g.rsB = makeBound(len(g.recentStores))
+	g.hotB = makeBound(p.HotBytes / 8)
+	g.wsB = makeBound(p.WorkingSetBytes / 8)
+	return g
 }
 
 // Next returns the next dynamic instruction.
@@ -115,7 +126,9 @@ func (g *Gen) Next() Instr {
 		in.Op = OpStore
 		in.Addr = g.address(true)
 		g.recentStores[g.rsHead] = in.Addr
-		g.rsHead = (g.rsHead + 1) % len(g.recentStores)
+		if g.rsHead++; g.rsHead == len(g.recentStores) {
+			g.rsHead = 0
+		}
 	case r < p.LoadFrac+p.StoreFrac+p.BranchFrac:
 		in.Op = OpBranch
 		in.Mispredict = g.rng.Float64() < p.BranchMispredictRate
@@ -135,12 +148,22 @@ func (g *Gen) Next() Instr {
 	}
 	// Register dependencies: geometric-ish around DepDistance.
 	if p.DepDistance > 0 {
-		in.Dep1 = 1 + g.rng.Intn(p.DepDistance)
-		if g.rng.Intn(2) == 0 {
-			in.Dep2 = 1 + g.rng.Intn(p.DepDistance*2)
+		in.Dep1 = int32(1 + g.rng.intn(g.depB))
+		if g.rng.Int31()&1 == 0 {
+			in.Dep2 = int32(1 + g.rng.intn(g.dep2B))
 		}
 	}
 	return in
+}
+
+// NextBatch fills dst with the next len(dst) instructions and reports how
+// many were written (always len(dst): the generator never runs dry). The
+// stream is identical to len(dst) successive Next calls.
+func (g *Gen) NextBatch(dst []Instr) int {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return len(dst)
 }
 
 // address draws an effective address per the locality model.
@@ -153,7 +176,7 @@ func (g *Gen) address(isStore bool) uint64 {
 		rehit = p.StoreRehit
 	}
 	if g.rng.Float64() < rehit {
-		if a := g.recentStores[g.rng.Intn(len(g.recentStores))]; a != 0 {
+		if a := g.recentStores[g.rng.intn(g.rsB)]; a != 0 {
 			return a
 		}
 	}
@@ -192,8 +215,8 @@ func (g *Gen) address(isStore bool) uint64 {
 		return g.seqAddr
 	case r < p.SeqFrac+p.HotFrac:
 		// Read-mostly hot window (stack reads, hot heap).
-		return g.hotBase + uint64(g.rng.Intn(p.HotBytes/8))*8
+		return g.hotBase + uint64(g.rng.intn(g.hotB))*8
 	default:
-		return uint64(g.rng.Intn(p.WorkingSetBytes/8)) * 8
+		return uint64(g.rng.intn(g.wsB)) * 8
 	}
 }

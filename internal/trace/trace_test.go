@@ -145,10 +145,10 @@ func TestDependenciesWithinWindow(t *testing.T) {
 	g := p.NewGen(5)
 	for i := 0; i < 10000; i++ {
 		in := g.Next()
-		if in.Dep1 < 0 || in.Dep1 > p.DepDistance {
+		if in.Dep1 < 0 || int(in.Dep1) > p.DepDistance {
 			t.Fatalf("Dep1 = %d out of range", in.Dep1)
 		}
-		if in.Dep2 < 0 || in.Dep2 > 2*p.DepDistance {
+		if in.Dep2 < 0 || int(in.Dep2) > 2*p.DepDistance {
 			t.Fatalf("Dep2 = %d out of range", in.Dep2)
 		}
 	}
