@@ -246,12 +246,14 @@ func BenchmarkHammingDecode256(b *testing.B) {
 	}
 }
 
-// BenchmarkSection7Multicore runs a short coherence sweep (the Sec. 7
-// multiprocessor experiment).
+// BenchmarkSection7Multicore runs a short timed coherence sweep (the
+// Sec. 7 multiprocessor experiment).
 func BenchmarkSection7Multicore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if experiments.Section7Multicore(20_000, int64(i)) == "" {
-			b.Fatal("empty section")
+		out, err := experiments.Section7Multicore(
+			experiments.Budget{Warmup: 2_000, Measure: 5_000, Seed: int64(i)})
+		if err != nil || out == "" {
+			b.Fatalf("empty section (err=%v)", err)
 		}
 	}
 }
@@ -261,8 +263,8 @@ func BenchmarkSection7Multicore(b *testing.B) {
 func BenchmarkAblationSinglePort(b *testing.B) {
 	bud := benchBudget()
 	for i := 0; i < b.N; i++ {
-		if experiments.SinglePortAblation(bud) == "" {
-			b.Fatal("empty ablation")
+		if out, err := experiments.SinglePortAblation(bud); err != nil || out == "" {
+			b.Fatalf("empty ablation (err=%v)", err)
 		}
 	}
 }
@@ -270,8 +272,8 @@ func BenchmarkAblationSinglePort(b *testing.B) {
 // BenchmarkAblationEarlyWriteback measures the early write-back sweep.
 func BenchmarkAblationEarlyWriteback(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if experiments.EarlyWritebackAblation(30_000, int64(i)) == "" {
-			b.Fatal("empty ablation")
+		if out, err := experiments.EarlyWritebackAblation(30_000, int64(i)); err != nil || out == "" {
+			b.Fatalf("empty ablation (err=%v)", err)
 		}
 	}
 }

@@ -135,6 +135,20 @@ var entries = []struct {
 			}
 		}
 	}},
+	{"MulticoreCPI", func(b *testing.B) {
+		b.ReportAllocs()
+		p, ok := trace.ProfileByName("gzip")
+		if !ok {
+			panic("missing profile gzip")
+		}
+		bud := experiments.Budget{Warmup: 5_000, Measure: 15_000, Seed: 1}
+		for i := 0; i < b.N; i++ {
+			run, err := experiments.MulticoreCell(p, 2, 0.3, bud)
+			if err != nil || run.CPI <= 0 {
+				panic(fmt.Sprintf("multicore cell broke: cpi=%v err=%v", run.CPI, err))
+			}
+		}
+	}},
 }
 
 var benchRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)

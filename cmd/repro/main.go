@@ -123,7 +123,12 @@ func main() {
 	}
 	if all || *sec7 {
 		checkCtx()
-		fmt.Println(experiments.Section7Multicore(200_000, *seed))
+		fmt.Fprintln(os.Stderr, "running the timed Sec. 7 multiprocessor sweep...")
+		out, err := experiments.Section7MulticoreCtx(ctx, budget)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
 	}
 	if all || *sec51 {
 		fmt.Println(experiments.Section51Area(1))
@@ -140,7 +145,11 @@ func main() {
 	if all || *l3 {
 		checkCtx()
 		fmt.Fprintln(os.Stderr, "running the L3 study...")
-		fmt.Println(experiments.SectionL3(budget))
+		out, err := experiments.SectionL3(budget)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
 	}
 	if all || *coverage {
 		checkCtx()
@@ -151,8 +160,16 @@ func main() {
 		checkCtx()
 		fmt.Println(experiments.PairAblation(*trials, *seed))
 		fmt.Println(experiments.ParityAblation(*trials, *seed))
-		fmt.Println(experiments.SinglePortAblation(budget))
-		fmt.Println(experiments.EarlyWritebackAblation(200_000, *seed))
-		fmt.Println(experiments.ICacheAblation(budget))
+		for _, run := range []func() (string, error){
+			func() (string, error) { return experiments.SinglePortAblation(budget) },
+			func() (string, error) { return experiments.EarlyWritebackAblation(200_000, *seed) },
+			func() (string, error) { return experiments.ICacheAblation(budget) },
+		} {
+			out, err := run()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		}
 	}
 }

@@ -233,6 +233,17 @@ func (c *Cache) Probe(addr uint64) (set, way int) {
 // lifetime of the cache.
 func (c *Cache) Line(set, way int) *Line { return &c.lines[set*c.nWays+way] }
 
+// PeekWord returns the stored word at addr if its block is resident,
+// without touching replacement or sampling state (checker use).
+func (c *Cache) PeekWord(addr uint64) (uint64, bool) {
+	set, way := c.Probe(addr)
+	if way < 0 {
+		return 0, false
+	}
+	_, _, word := c.Decompose(addr)
+	return c.Line(set, way).Data[word], true
+}
+
 // Touch marks (set, way) most recently used.
 func (c *Cache) Touch(set, way int) {
 	c.lruClk++

@@ -34,6 +34,7 @@ type Stats struct {
 	Invalidations               uint64 // copies killed by remote writes
 	OwnerFlushes                uint64 // M->S downgrades forced by remote reads
 	OwnerWritebackInvalidations uint64 // M copies killed by remote writes (dirty data folded out)
+	BusBusyCycles               uint64 // cycles the bus/directory was reserved (timed runs)
 }
 
 // dirEntry tracks one block's global state.
@@ -48,8 +49,14 @@ type Multiprocessor struct {
 	L2  *protect.Controller
 	Mem *cache.Memory
 
-	dir   map[uint64]*dirEntry
-	Stats Stats
+	// Timing prices the protocol events (see timing.go). The zero value
+	// makes every protocol event free, which is the historical untimed
+	// behaviour the functional tests rely on.
+	Timing Timing
+
+	dir     map[uint64]*dirEntry
+	Stats   Stats
+	busFree uint64 // first cycle the bus/directory is free again (FCFS)
 
 	blockBytes uint64
 }
@@ -101,31 +108,55 @@ func (m *Multiprocessor) reconcile(e *dirEntry, addr uint64) {
 	}
 }
 
-// Read performs a load by `core` at addr.
+// Read performs a load by `core` at addr (untimed entry point: protocol
+// events are counted but cost nothing beyond the cache latencies).
 func (m *Multiprocessor) Read(core int, addr, now uint64) protect.AccessResult {
+	var res protect.AccessResult
+	m.ReadInto(core, addr, now, &res)
+	return res
+}
+
+// Write performs a store by `core` at addr (untimed entry point).
+func (m *Multiprocessor) Write(core int, addr, val, now uint64) protect.AccessResult {
+	var res protect.AccessResult
+	m.WriteInto(core, addr, val, now, &res)
+	return res
+}
+
+// ReadInto performs a load by `core` at addr. With a non-zero Timing the
+// returned Latency includes bus-wait, bus-transaction, and owner-flush
+// cycles on top of the local hierarchy's latency.
+func (m *Multiprocessor) ReadInto(core int, addr, now uint64, res *protect.AccessResult) {
 	e := m.entry(addr)
 	m.reconcile(e, addr)
+	extra := 0
 	if !e.sharers[core] {
 		m.Stats.BusReads++
+		extra = m.busAcquire(now, m.Timing.BusCycles)
 		// A remote Modified copy must reach the L2 before we fetch.
 		if e.owner >= 0 && e.owner != core {
 			if m.L1s[e.owner].FlushBlock(addr, now) {
 				m.Stats.OwnerFlushes++
+				extra += m.busExtend(m.Timing.OwnerFlushCycles)
 			}
 			e.owner = -1
 		}
 	}
-	res := m.L1s[core].Load(addr, now)
+	m.L1s[core].LoadInto(addr, now+uint64(extra), res)
+	res.Latency += extra
 	e.sharers[core] = true
-	return res
 }
 
-// Write performs a store by `core` at addr.
-func (m *Multiprocessor) Write(core int, addr, val, now uint64) protect.AccessResult {
+// WriteInto performs a store by `core` at addr. With a non-zero Timing
+// the returned Latency includes bus-wait, bus-transaction, invalidation,
+// and owner-writeback cycles on top of the local hierarchy's latency.
+func (m *Multiprocessor) WriteInto(core int, addr, val, now uint64, res *protect.AccessResult) {
 	e := m.entry(addr)
 	m.reconcile(e, addr)
+	extra := 0
 	if e.owner != core {
 		m.Stats.BusReadX++
+		extra = m.busAcquire(now, m.Timing.BusCycles)
 		for other := range e.sharers {
 			if other == core {
 				continue
@@ -133,17 +164,19 @@ func (m *Multiprocessor) Write(core int, addr, val, now uint64) protect.AccessRe
 			wasOwner := e.owner == other
 			if m.L1s[other].InvalidateBlock(addr, now) {
 				m.Stats.Invalidations++
+				extra += m.busExtend(m.Timing.InvalidateCycles)
 				if wasOwner {
 					m.Stats.OwnerWritebackInvalidations++
+					extra += m.busExtend(m.Timing.OwnerFlushCycles)
 				}
 			}
 			delete(e.sharers, other)
 		}
 		e.owner = core
 	}
-	res := m.L1s[core].Store(addr, val, now)
+	m.L1s[core].StoreInto(addr, val, now+uint64(extra), res)
+	res.Latency += extra
 	e.sharers[core] = true
-	return res
 }
 
 // CheckCoherent verifies the single-writer/multi-reader invariant: at

@@ -1,0 +1,107 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"cppc/internal/cache"
+)
+
+// TestStressRandomOpsWithFaults hammers the protocol with randomized
+// multi-core op sequences and periodic single-bit fault injections,
+// asserting the coherence invariant and the full golden map after every
+// single operation. It runs under the CI race job (go test -race ./...),
+// where the map-heavy directory bookkeeping gets checked too.
+func TestStressRandomOpsWithFaults(t *testing.T) {
+	const ops = 1200
+	for _, cores := range []int{2, 3, 4} {
+		m := newMP(cores)
+		rng := rand.New(rand.NewSource(int64(1000 + cores)))
+
+		// Address pool: one shared region all cores touch plus a small
+		// private region per core. All word-aligned.
+		var addrs []uint64
+		for i := 0; i < 64; i++ {
+			addrs = append(addrs, uint64(i)*8) // shared
+		}
+		for c := 0; c < cores; c++ {
+			for i := 0; i < 32; i++ {
+				addrs = append(addrs, uint64(c+1)*0x10000+uint64(i)*8)
+			}
+		}
+
+		golden := map[uint64]uint64{}
+		checkAll := func(op int) {
+			t.Helper()
+			if err := m.CheckCoherent(); err != nil {
+				t.Fatalf("%d cores, op %d: %v", cores, op, err)
+			}
+			for _, a := range addrs {
+				if got, want := m.PeekWord(a), golden[a]; got != want {
+					t.Fatalf("%d cores, op %d: addr %#x holds %#x, golden %#x",
+						cores, op, a, got, want)
+				}
+			}
+		}
+
+		var now uint64
+		var nextVal uint64
+		for op := 0; op < ops; op++ {
+			now++
+			c := rng.Intn(cores)
+			a := addrs[rng.Intn(len(addrs))]
+			if rng.Intn(100) < 40 {
+				nextVal++
+				m.Write(c, a, nextVal, now)
+				golden[a] = nextVal
+			} else {
+				if res := m.Read(c, a, now); res.Value != golden[a] {
+					t.Fatalf("%d cores, op %d: core %d reads %#x at %#x, golden %#x",
+						cores, op, c, res.Value, a, golden[a])
+				}
+			}
+
+			// Every few ops, flip one bit in a random resident word and
+			// immediately read it back through the protocol: detection and
+			// recovery must restore the golden value before the next op.
+			if op%7 == 3 {
+				victim := rng.Intn(cores)
+				l1 := m.L1s[victim]
+				type slot struct{ set, way int }
+				var valid []slot
+				l1.C.ForEachValid(func(set, way int, _ *cache.Line) {
+					valid = append(valid, slot{set, way})
+				})
+				if len(valid) > 0 {
+					s := valid[rng.Intn(len(valid))]
+					word := rng.Intn(l1.C.BlockWords())
+					l1.C.FlipBits(s.set, s.way, word, 1<<uint(rng.Intn(64)))
+					faddr := l1.C.BlockAddr(s.set, s.way) + uint64(word)*8
+					now++
+					if res := m.Read(victim, faddr, now); res.Value != golden[faddr] {
+						t.Fatalf("%d cores, op %d: core %d recovers %#x at %#x, golden %#x",
+							cores, op, victim, res.Value, faddr, golden[faddr])
+					}
+					if l1.Halted {
+						t.Fatalf("%d cores, op %d: single-bit fault halted core %d", cores, op, victim)
+					}
+				}
+			}
+			checkAll(op)
+		}
+
+		// Drain the hierarchy and compare the golden map against memory:
+		// every surviving dirty word must land intact.
+		now++
+		for _, l1 := range m.L1s {
+			l1.Flush(now)
+		}
+		m.L2.Flush(now)
+		for _, a := range addrs {
+			if got, want := m.Mem.ReadWord(a), golden[a]; got != want {
+				t.Fatalf("%d cores: after flush, memory holds %#x at %#x, golden %#x",
+					cores, got, a, want)
+			}
+		}
+	}
+}

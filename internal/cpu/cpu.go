@@ -143,11 +143,14 @@ type Result struct {
 	Halted       bool // a DUE occurred
 }
 
-// Core runs instruction streams against a data-cache controller.
+// Core runs instruction streams against a memory hierarchy behind a
+// MemoryPort (a single-core controller stack or one core's view of a
+// timed multiprocessor).
 type Core struct {
 	Cfg Config
-	D   *protect.Controller // L1 data cache controller
+	Mem MemoryPort // data-side hierarchy
 
+	hitLat              int // cached Mem.HitLatency()
 	readPort, writePort *port
 	intALU, intMul      *fuPool
 	fpALU, fpMul        *fuPool
@@ -169,6 +172,11 @@ type Core struct {
 	fetchReady uint64 // earliest fetch cycle for the next instruction
 	slot       int    // issue slots used in the current fetch cycle
 
+	// Scratch access result reused across instructions: passing a pointer
+	// to a stack local through the MemoryPort interface would force a heap
+	// allocation per memory instruction.
+	acc protect.AccessResult
+
 	// Optional instruction-side model (Table 1's 16KB L1I): the front end
 	// fetches 4-byte instructions; crossing into a new 32-byte block costs
 	// an I-cache access, and an I-miss stalls fetch.
@@ -188,8 +196,13 @@ type Core struct {
 	srcPos, srcLen int
 }
 
-// NewCore wires a core to a data-cache controller.
+// NewCore wires a core to a single-core data-cache controller stack.
 func NewCore(cfg Config, d *protect.Controller) *Core {
+	return NewCoreWithPort(cfg, ControllerPort{Ctrl: d})
+}
+
+// NewCoreWithPort wires a core to any MemoryPort implementation.
+func NewCoreWithPort(cfg Config, mem MemoryPort) *Core {
 	rp := &port{cap: 2} // a small store buffer absorbs stolen reads
 	wp := &port{cap: 8}
 	if cfg.SinglePorted {
@@ -202,7 +215,7 @@ func NewCore(cfg Config, d *protect.Controller) *Core {
 		return 0
 	}
 	return &Core{
-		Cfg: cfg, D: d,
+		Cfg: cfg, Mem: mem, hitLat: mem.HitLatency(),
 		doneMask: ringMask(4096), ruuMask: ringMask(cfg.RUUSize), lsqMask: ringMask(cfg.LSQSize),
 		readPort:  rp,
 		writePort: wp,
@@ -300,7 +313,7 @@ func (c *Core) RunCtx(ctx context.Context, src trace.Source, n int) (Result, err
 		if done > lastDone {
 			lastDone = done
 		}
-		if c.D.Halted {
+		if c.Mem.Halted() {
 			res.Halted = true
 			break
 		}
@@ -413,9 +426,10 @@ func (c *Core) execute(i uint64, in trace.Instr, t uint64, res *Result) uint64 {
 		res.Loads++
 		// A 2D-parity miss must read the victim line out through the read
 		// port before the fill (Sec. 2).
-		start := c.readPort.reserve(t, 1+c.loadMissLineRead(in.Addr))
-		var r protect.AccessResult
-		c.D.LoadInto(in.Addr, start, &r)
+		start := c.readPort.reserve(t, 1+c.Mem.PlanLoadMiss(in.Addr))
+		c.acc = protect.AccessResult{}
+		r := &c.acc
+		c.Mem.LoadInto(in.Addr, start, r)
 		if !r.Hit {
 			// The refill occupies the write port once it returns.
 			c.writePort.steal(1)
@@ -430,7 +444,7 @@ func (c *Core) execute(i uint64, in trace.Instr, t uint64, res *Result) uint64 {
 		// does occupy the ports (delaying loads) and the LSQ entry stays
 		// allocated until the store drains (backpressure).
 		drain := t
-		needsWait, rbwWords := c.storePortPlan(in.Addr)
+		needsWait, rbwWords := c.Mem.PlanStore(in.Addr)
 		if rbwWords > 0 {
 			if needsWait {
 				// Two-dimensional parity: the write cannot start until
@@ -442,10 +456,11 @@ func (c *Core) execute(i uint64, in trace.Instr, t uint64, res *Result) uint64 {
 			}
 		}
 		drain = c.writePort.reserve(drain, 1)
-		var r protect.AccessResult
-		c.D.StoreInto(in.Addr, i, drain, &r) // stored value is arbitrary for timing
+		c.acc = protect.AccessResult{}
+		r := &c.acc
+		c.Mem.StoreInto(in.Addr, i, drain, r) // stored value is arbitrary for timing
 		done = t + 1
-		c.lsqRing[c.lsqIdx(c.memIdx)] = drain + uint64(r.Latency-c.D.C.Cfg.HitLatencyCycles) + 1
+		c.lsqRing[c.lsqIdx(c.memIdx)] = drain + uint64(r.Latency-c.hitLat) + 1
 		c.memIdx++
 	case trace.OpBranch:
 		start := c.intALU.acquire(t, 1)
@@ -473,54 +488,7 @@ func (c *Core) execute(i uint64, in trace.Instr, t uint64, res *Result) uint64 {
 	return done
 }
 
-// storePortPlan inspects the cache state to decide the store's
-// read-before-write behaviour *before* the store executes: whether the
-// store must wait for the read (two-dimensional parity) and how many
-// read-port word-slots it needs. A miss with a whole-line read (2D parity
-// fill) books the line read too.
-func (c *Core) storePortPlan(addr uint64) (wait bool, words int) {
-	set, way := c.D.C.Probe(addr)
-	hit := way >= 0
-	switch c.D.Scheme.Kind() {
-	case protect.KindCPPC:
-		if hit {
-			_, _, word := c.D.C.Decompose(addr)
-			g := c.D.C.GranuleOf(word)
-			if c.D.C.Line(set, way).Dirty[g] {
-				return false, 1
-			}
-		}
-		return false, 0
-	case protect.KindTwoDim:
-		words = 1
-		if !hit {
-			// Miss under 2D parity: the victim line must be read out.
-			// The data array reads a whole row per access, so this is one
-			// extra port cycle (its energy is a full line, accounted in
-			// Stats.RBWOnMissLines).
-			vict := c.D.C.Victim(set)
-			if c.D.C.Line(set, vict).Valid {
-				words++
-			}
-		}
-		return true, words
-	default:
-		return false, 0
-	}
-}
-
-// loadMissLineRead accounts the whole-line victim read 2D parity pays on
-// load misses.
-func (c *Core) loadMissLineRead(addr uint64) int {
-	if c.D.Scheme.Kind() != protect.KindTwoDim {
-		return 0
-	}
-	set, way := c.D.C.Probe(addr)
-	if way >= 0 {
-		return 0
-	}
-	if c.D.C.Line(set, c.D.C.Victim(set)).Valid {
-		return 1 // one wide array read of the victim line
-	}
-	return 0
-}
+// The store/load port-usage planning (read-before-write word counts,
+// victim-line reads) lives with the protection controller — see
+// protect.Controller.PlanStoreRBW and PlanLoadVictimRead — so that every
+// MemoryPort implementation shares one definition.

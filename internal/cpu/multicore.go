@@ -1,0 +1,106 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+
+	"cppc/internal/trace"
+)
+
+// DefaultQuantum is the lock-step scheduling quantum: how many
+// instructions each core advances before the next core gets the machine.
+// It matches the trace refill batch, and keeping it small bounds how far
+// one core's view of the shared hierarchy can run ahead of another's.
+const DefaultQuantum = 256
+
+// Cluster drives N OoO cores in lock step, one trace stream per core.
+// The cores share whatever hierarchy their MemoryPorts expose (for the
+// Sec. 7 experiments, per-core views of a timed coherence.Multiprocessor);
+// the round-robin order is fixed, so a run is deterministic for a given
+// set of (port, source) pairs.
+type Cluster struct {
+	Cores []*Core
+	srcs  []trace.Source
+}
+
+// NewCluster builds one core per (port, source) pair, all with the same
+// pipeline configuration.
+func NewCluster(cfg Config, ports []MemoryPort, srcs []trace.Source) (*Cluster, error) {
+	if len(ports) == 0 || len(ports) != len(srcs) {
+		return nil, errors.New("cpu: cluster needs exactly one trace source per memory port")
+	}
+	cl := &Cluster{srcs: srcs}
+	for _, p := range ports {
+		cl.Cores = append(cl.Cores, NewCoreWithPort(cfg, p))
+	}
+	return cl, nil
+}
+
+// MulticoreResult aggregates a lock-step run.
+type MulticoreResult struct {
+	PerCore      []Result
+	Instructions uint64  // summed across cores
+	Cycles       uint64  // wall clock: max completion cycle over cores
+	CPI          float64 // Cycles over instructions-per-core
+	Halted       bool    // a DUE stopped some core (the cluster stops with it)
+}
+
+// Run is RunCtx without cancellation.
+func (cl *Cluster) Run(n, quantum int) MulticoreResult {
+	res, _ := cl.RunCtx(context.Background(), n, quantum)
+	return res
+}
+
+// RunCtx runs n instructions on every core, advancing round-robin in
+// quanta (quantum <= 0 selects DefaultQuantum). Cycle timestamps are
+// absolute and carry across calls, so warm-up and measurement phases can
+// be separate calls with the cycle delta taken by the caller. If any core
+// halts on an unrecoverable fault the whole cluster stops.
+func (cl *Cluster) RunCtx(ctx context.Context, n, quantum int) (MulticoreResult, error) {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	res := MulticoreResult{PerCore: make([]Result, len(cl.Cores))}
+	var err error
+	remaining := n
+outer:
+	for remaining > 0 && !res.Halted {
+		step := quantum
+		if remaining < step {
+			step = remaining
+		}
+		for i, c := range cl.Cores {
+			r, rerr := c.RunCtx(ctx, cl.srcs[i], step)
+			pc := &res.PerCore[i]
+			pc.Instructions += r.Instructions
+			if r.Cycles > pc.Cycles {
+				pc.Cycles = r.Cycles
+			}
+			pc.Loads += r.Loads
+			pc.Stores += r.Stores
+			if r.Halted {
+				pc.Halted = true
+				res.Halted = true
+			}
+			if rerr != nil {
+				err = rerr
+				break outer
+			}
+		}
+		remaining -= step
+	}
+	for i := range res.PerCore {
+		pc := &res.PerCore[i]
+		if pc.Instructions > 0 {
+			pc.CPI = float64(pc.Cycles) / float64(pc.Instructions)
+		}
+		res.Instructions += pc.Instructions
+		if pc.Cycles > res.Cycles {
+			res.Cycles = pc.Cycles
+		}
+	}
+	if perCore := res.Instructions / uint64(len(cl.Cores)); perCore > 0 {
+		res.CPI = float64(res.Cycles) / float64(perCore)
+	}
+	return res, err
+}

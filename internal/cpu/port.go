@@ -1,0 +1,55 @@
+package cpu
+
+import (
+	"cppc/internal/protect"
+)
+
+// MemoryPort is the seam between the timing core and the memory
+// hierarchy: everything the pipeline needs from the data side. A port
+// serves loads and stores at a given cycle (filling an AccessResult whose
+// Latency feeds the pipeline), predicts a store's read-before-write port
+// usage before the store executes (the Fig. 10 contention model), and
+// reports whether the hierarchy has halted on a DUE.
+//
+// Two implementations exist: ControllerPort wraps the single-core
+// protect.Controller stack (the Table 1 hierarchy, bit-identical to the
+// pre-interface core), and coherence.CorePort gives each core of a timed
+// Multiprocessor its own view of the shared MSI hierarchy.
+type MemoryPort interface {
+	// LoadInto performs a word load at addr issued at cycle now. *res
+	// must be zeroed.
+	LoadInto(addr, now uint64, res *protect.AccessResult)
+	// StoreInto performs a word store at addr issued at cycle now. *res
+	// must be zeroed.
+	StoreInto(addr, val, now uint64, res *protect.AccessResult)
+	// PlanStore predicts the store's read-before-write behaviour: whether
+	// the store must wait for the read (2D parity) and how many read-port
+	// word-slots it books (CPPC steals them without waiting).
+	PlanStore(addr uint64) (wait bool, rbwWords int)
+	// PlanLoadMiss returns extra read-port cycles a load needs before its
+	// access (the 2D-parity whole-line victim read on a miss).
+	PlanLoadMiss(addr uint64) int
+	// HitLatency is the L1 hit latency in cycles.
+	HitLatency() int
+	// Halted reports whether an unrecoverable fault stopped the machine.
+	Halted() bool
+}
+
+// ControllerPort adapts a single-core protect.Controller stack (L1 over
+// L2 over memory) to the MemoryPort seam.
+type ControllerPort struct {
+	Ctrl *protect.Controller
+}
+
+func (p ControllerPort) LoadInto(addr, now uint64, res *protect.AccessResult) {
+	p.Ctrl.LoadInto(addr, now, res)
+}
+
+func (p ControllerPort) StoreInto(addr, val, now uint64, res *protect.AccessResult) {
+	p.Ctrl.StoreInto(addr, val, now, res)
+}
+
+func (p ControllerPort) PlanStore(addr uint64) (bool, int) { return p.Ctrl.PlanStoreRBW(addr) }
+func (p ControllerPort) PlanLoadMiss(addr uint64) int      { return p.Ctrl.PlanLoadVictimRead(addr) }
+func (p ControllerPort) HitLatency() int                   { return p.Ctrl.C.Cfg.HitLatencyCycles }
+func (p ControllerPort) Halted() bool                      { return p.Ctrl.Halted }

@@ -16,7 +16,7 @@ import (
 // also evaluate single-ported caches and their impact on the
 // read-before-write operations" — by re-running the Fig. 10 CPI
 // comparison with the L1 read and write ports merged.
-func SinglePortAblation(b Budget) string {
+func SinglePortAblation(b Budget) (string, error) {
 	t := tables.New("Sec. 7 ablation: single-ported L1 vs. split ports (CPI overhead over parity-1d)",
 		"benchmark", "cppc split", "cppc single", "2d split", "2d single")
 	run := func(p trace.Profile, mk cpu.SchemeFactory, single bool) float64 {
@@ -32,7 +32,7 @@ func SinglePortAblation(b Budget) string {
 	for _, name := range []string{"crafty", "vortex", "swim"} {
 		p, ok := trace.ProfileByName(name)
 		if !ok {
-			continue
+			return "", fmt.Errorf("single-port ablation: profile %q not found", name)
 		}
 		var over [4]float64
 		for i, cfg := range []struct {
@@ -54,16 +54,20 @@ func SinglePortAblation(b Budget) string {
 	return t.String() +
 		"merging the ports raises every scheme's absolute CPI; the baseline becomes\n" +
 		"port-bound, so 2D parity's relative overhead shrinks while CPPC's stolen\n" +
-		"reads remain negligible in both designs\n"
+		"reads remain negligible in both designs\n", nil
 }
 
 // EarlyWritebackAblation quantifies the related-work technique of [2, 15]
 // (Sec. 2): periodically cleaning dirty blocks trades write-back energy
 // for a smaller vulnerable population — which directly scales the
 // baseline parity MTTF and shortens CPPC's exposure windows.
-func EarlyWritebackAblation(accesses int, seed int64) string {
+func EarlyWritebackAblation(accesses int, seed int64) (string, error) {
 	t := tables.New("Ablation: early write-back interval vs. dirty population",
 		"interval", "dirty L1", "write-backs", "early WBs", "parity-1d MTTF (yr)")
+	p, ok := trace.ProfileByName("gzip")
+	if !ok {
+		return "", fmt.Errorf("early-writeback ablation: profile %q not found", "gzip")
+	}
 	for _, interval := range []uint64{0, 512, 128, 32} {
 		ccfg := cache.L1DConfig()
 		c := cache.New(ccfg)
@@ -72,7 +76,6 @@ func EarlyWritebackAblation(accesses int, seed int64) string {
 		ct.SetSampleInterval(64)
 		ct.SetEarlyWriteback(interval, 8)
 
-		p, _ := trace.ProfileByName("gzip")
 		gen := p.NewGen(seed)
 		var now uint64
 		for i := 0; i < accesses; {
@@ -100,7 +103,7 @@ func EarlyWritebackAblation(accesses int, seed int64) string {
 		t.Addf(label, tables.Pct(c.DirtyFraction()), ct.Stats.WriteBack,
 			ct.EarlyWriteBacks, fmt.Sprintf("%.0f", reliability.Parity1DMTTFYears(params)))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ICacheAblation quantifies the front-end model: Fig. 10's CPIs with the
@@ -108,13 +111,13 @@ func EarlyWritebackAblation(accesses int, seed int64) string {
 // parity-protected cache sharing the unified L2). Instructions are
 // read-only, so parity alone fully protects them — the reason the paper's
 // machinery targets the data side.
-func ICacheAblation(b Budget) string {
+func ICacheAblation(b Budget) (string, error) {
 	t := tables.New("Ablation: instruction-cache modeling (parity-1d data cache)",
 		"benchmark", "CPI no L1I", "CPI with L1I", "L1I miss rate")
 	for _, name := range []string{"gzip", "gcc", "swim"} {
 		p, ok := trace.ProfileByName(name)
 		if !ok {
-			continue
+			return "", fmt.Errorf("icache ablation: profile %q not found", name)
 		}
 		run := func(withIC bool) (float64, float64) {
 			sys := cpu.NewSystem(cpu.Parity1DFactory(), cpu.Parity1DFactory())
@@ -131,5 +134,5 @@ func ICacheAblation(b Budget) string {
 		with, mr := run(true)
 		t.Addf(name, base, with, tables.Pct(mr))
 	}
-	return t.String()
+	return t.String(), nil
 }

@@ -152,11 +152,42 @@ func TestSection7MulticoreReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("coherence sweep")
 	}
-	out := Section7Multicore(15_000, 3)
-	for _, want := range []string{"cores", "RBW/store", "invalidations"} {
+	out, err := Section7Multicore(Budget{Warmup: 5_000, Measure: 10_000, Seed: 3})
+	if err != nil {
+		t.Fatalf("Section7Multicore: %v", err)
+	}
+	for _, want := range []string{"cores", "CPI", "slowdown", "RBW/store", "invalidations"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Sec. 7 report missing %q", want)
 		}
+	}
+}
+
+func TestMulticoreCellDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed multicore simulation")
+	}
+	p, ok := trace.ProfileByName("gzip")
+	if !ok {
+		t.Fatal("gzip profile missing")
+	}
+	b := Budget{Warmup: 5_000, Measure: 15_000, Seed: 9}
+	r1, err := MulticoreCell(p, 2, 0.5, b)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	r2, err := MulticoreCell(p, 2, 0.5, b)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if r1 != r2 {
+		t.Errorf("same seed produced different multicore stats:\n%+v\n%+v", r1, r2)
+	}
+	if r1.Instructions != 2*15_000 {
+		t.Errorf("expected %d measured instructions, got %d", 2*15_000, r1.Instructions)
+	}
+	if r1.CPI <= 0 || r1.Cycles == 0 {
+		t.Errorf("degenerate timing result: %+v", r1)
 	}
 }
 
@@ -164,7 +195,10 @@ func TestSinglePortAblationReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing ablation")
 	}
-	out := SinglePortAblation(tinyBudget())
+	out, err := SinglePortAblation(tinyBudget())
+	if err != nil {
+		t.Fatalf("SinglePortAblation: %v", err)
+	}
 	for _, want := range []string{"cppc split", "2d single", "crafty"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("single-port ablation missing %q", want)
@@ -176,7 +210,10 @@ func TestEarlyWritebackAblationReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("policy ablation")
 	}
-	out := EarlyWritebackAblation(30_000, 3)
+	out, err := EarlyWritebackAblation(30_000, 3)
+	if err != nil {
+		t.Fatalf("EarlyWritebackAblation: %v", err)
+	}
 	if !strings.Contains(out, "off") || !strings.Contains(out, "MTTF") {
 		t.Errorf("early-writeback ablation malformed:\n%s", out)
 	}
@@ -212,7 +249,10 @@ func TestSectionL3Report(t *testing.T) {
 	if testing.Short() {
 		t.Skip("three-level simulation")
 	}
-	out := SectionL3(Budget{Warmup: 30_000, Measure: 60_000, Seed: 1})
+	out, err := SectionL3(Budget{Warmup: 30_000, Measure: 60_000, Seed: 1})
+	if err != nil {
+		t.Fatalf("SectionL3: %v", err)
+	}
 	for _, want := range []string{"mcf", "RBW/store L3", "cppc/parity L3 energy"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("L3 report missing %q", want)

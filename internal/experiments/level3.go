@@ -18,14 +18,14 @@ import (
 // hence even lower energy overhead than the L2's ~7% — is tested by
 // building a three-level hierarchy (parity L1 and L2 over the L3 under
 // test) and comparing the L3's dynamic energy under CPPC and parity.
-func SectionL3(b Budget) string {
+func SectionL3(b Budget) (string, error) {
 	t := tables.New("Sec. 7: L3 CPPC under large-footprint workloads",
 		"benchmark", "L3 accesses", "L3 miss", "RBW/store L2", "RBW/store L3", "cppc/parity L3 energy")
 
 	for _, name := range []string{"mcf", "swim", "applu", "bzip2"} {
 		p, ok := trace.ProfileByName(name)
 		if !ok {
-			continue
+			return "", fmt.Errorf("L3 experiment: profile %q not found", name)
 		}
 		type out struct {
 			l3, l2 cache.Stats
@@ -87,5 +87,5 @@ func SectionL3(b Budget) string {
 		"and the overhead vanishes as predicted; cyclic write footprints that *fit* in a\n" +
 		"large L3 keep rewriting still-dirty blocks and pay more read-before-writes than\n" +
 		"at the L2 — the L3 advantage is a property of the workload's write reuse, not of\n" +
-		"the level itself\n"
+		"the level itself\n", nil
 }

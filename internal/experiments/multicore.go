@@ -1,59 +1,156 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cppc/internal/cache"
 	"cppc/internal/coherence"
 	"cppc/internal/core"
+	"cppc/internal/cpu"
 	"cppc/internal/protect"
 	"cppc/internal/tables"
+	"cppc/internal/trace"
 )
 
-// Section7Multicore evaluates the paper's Sec. 7 multiprocessor
-// hypothesis over the MSI substrate: write-invalidate coherence steals
-// dirty blocks from their owners, so the read-before-write ratio — and
-// with it CPPC's energy overhead — drops as write sharing rises.
-func Section7Multicore(accesses int, seed int64) string {
-	l1cfg, err := cache.Config{
+// mpConfigs returns the multiprocessor cache geometry: per-core 32KB L1s
+// over a shared 1MB L2, both CPPC-protected.
+func mpConfigs() (l1, l2 cache.Config, err error) {
+	l1, err = cache.Config{
 		Name: "mpL1", SizeBytes: 32 << 10, Ways: 2, BlockBytes: 32,
 		DirtyGranuleWords: 1, HitLatencyCycles: 2,
 	}.Validate()
 	if err != nil {
-		panic(err)
+		return l1, l2, fmt.Errorf("multicore L1 config: %w", err)
 	}
-	l2cfg, err := cache.Config{
+	l2, err = cache.Config{
 		Name: "mpL2", SizeBytes: 1 << 20, Ways: 4, BlockBytes: 32,
 		DirtyGranuleWords: 4, HitLatencyCycles: 8,
 	}.Validate()
 	if err != nil {
-		panic(err)
+		return l1, l2, fmt.Errorf("multicore L2 config: %w", err)
+	}
+	return l1, l2, nil
+}
+
+// MulticoreRun is one timed multicore cell: N OoO cores in lock step over
+// the coherent CPPC hierarchy.
+type MulticoreRun struct {
+	Bench        string
+	Cores        int
+	SharedFrac   float64
+	CPI          float64 // wall-clock cycles over instructions per core
+	Cycles       uint64  // measured wall-clock cycles
+	Instructions uint64  // measured instructions, summed across cores
+	L1           cache.Stats
+	Coherence    coherence.Stats
+	DirtyL1      float64 // dirty fraction averaged across L1s
+	Halted       bool
+}
+
+// MulticoreCell runs one (profile, cores, sharedFrac) cell.
+func MulticoreCell(prof trace.Profile, cores int, sharedFrac float64, b Budget) (MulticoreRun, error) {
+	return MulticoreCellCtx(context.Background(), prof, cores, sharedFrac, b)
+}
+
+// MulticoreCellCtx is MulticoreCell with cooperative cancellation. The
+// run is deterministic for a given (profile, cores, sharedFrac, budget):
+// per-core trace seeds derive from b.Seed and the lock-step order is
+// fixed.
+func MulticoreCellCtx(ctx context.Context, prof trace.Profile, cores int, sharedFrac float64, b Budget) (MulticoreRun, error) {
+	if cores <= 0 {
+		return MulticoreRun{}, fmt.Errorf("multicore: cores must be positive, got %d", cores)
+	}
+	if sharedFrac < 0 || sharedFrac > 1 {
+		return MulticoreRun{}, fmt.Errorf("multicore: shared fraction %v outside [0,1]", sharedFrac)
+	}
+	l1cfg, l2cfg, err := mpConfigs()
+	if err != nil {
+		return MulticoreRun{}, err
 	}
 	mkL1 := func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, core.DefaultL1Config()) }
 	mkL2 := func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, core.DefaultL2Config()) }
+	m := coherence.New(cores, l1cfg, l2cfg, mkL1, mkL2, 200)
+	m.Timing = coherence.DefaultTiming()
 
-	t := tables.New("Sec. 7: write-invalidate coherence vs. CPPC read-before-writes",
-		"cores", "shared frac", "RBW/store", "invalidations", "owner flushes", "dirty L1 avg")
+	ports := make([]cpu.MemoryPort, cores)
+	srcs := make([]trace.Source, cores)
+	for i, g := range prof.NewCoreGens(cores, sharedFrac, b.Seed) {
+		ports[i] = m.CorePort(i)
+		srcs[i] = g
+	}
+	cl, err := cpu.NewCluster(cpu.Table1Config(), ports, srcs)
+	if err != nil {
+		return MulticoreRun{}, err
+	}
+	warm, err := cl.RunCtx(ctx, b.Warmup, 0)
+	if err != nil {
+		return MulticoreRun{}, err
+	}
+	m.ResetStats()
+	meas, err := cl.RunCtx(ctx, b.Measure, 0)
+	if err != nil {
+		return MulticoreRun{}, err
+	}
+	r := MulticoreRun{
+		Bench: prof.Name, Cores: cores, SharedFrac: sharedFrac,
+		Cycles:       meas.Cycles - warm.Cycles,
+		Instructions: meas.Instructions,
+		L1:           m.TotalL1Stats(),
+		Coherence:    m.Stats,
+		Halted:       meas.Halted,
+	}
+	if per := meas.Instructions / uint64(cores); per > 0 {
+		r.CPI = float64(r.Cycles) / float64(per)
+	}
+	for _, l1 := range m.L1s {
+		r.DirtyL1 += l1.C.DirtyFraction() / float64(cores)
+	}
+	return r, nil
+}
+
+// Section7Multicore evaluates the paper's Sec. 7 multiprocessor
+// hypothesis on the timed machine: write-invalidate coherence steals
+// dirty blocks from their owners, so the read-before-write ratio — and
+// with it CPPC's energy overhead — drops as write sharing rises, while
+// the CPI column shows what bus occupancy and invalidation traffic cost.
+func Section7Multicore(b Budget) (string, error) {
+	return Section7MulticoreCtx(context.Background(), b)
+}
+
+// Section7MulticoreCtx is Section7Multicore with cooperative
+// cancellation.
+func Section7MulticoreCtx(ctx context.Context, b Budget) (string, error) {
+	prof, ok := trace.ProfileByName("gzip")
+	if !ok {
+		return "", fmt.Errorf("multicore: profile %q not found", "gzip")
+	}
+	t := tables.New("Sec. 7: timed write-invalidate coherence vs. CPPC read-before-writes",
+		"cores", "shared frac", "CPI", "slowdown", "RBW/store", "invalidations", "owner flushes", "dirty L1 avg")
+	var baseCPI float64
 	for _, cores := range []int{1, 2, 4, 8} {
 		for _, sf := range []float64{0, 0.3, 0.6} {
 			if cores == 1 && sf > 0 {
 				continue
 			}
-			m := coherence.New(cores, l1cfg, l2cfg, mkL1, mkL2, 200)
-			w := coherence.DefaultWorkload(cores)
-			w.SharedFrac = sf
-			w.Run(m, accesses, seed)
-			st := m.TotalL1Stats()
-			var dirty float64
-			for _, l1 := range m.L1s {
-				dirty += l1.C.DirtyFraction() / float64(cores)
+			r, err := MulticoreCellCtx(ctx, prof, cores, sf, b)
+			if err != nil {
+				return "", err
+			}
+			if cores == 1 && sf == 0 {
+				baseCPI = r.CPI
+			}
+			slowdown := 0.0
+			if baseCPI > 0 {
+				slowdown = r.CPI / baseCPI
 			}
 			t.Addf(cores, fmt.Sprintf("%.1f", sf),
-				float64(st.ReadBeforeWrite)/float64(st.Stores),
-				m.Stats.Invalidations, m.Stats.OwnerFlushes,
-				tables.Pct(dirty))
+				r.CPI, slowdown,
+				float64(r.L1.ReadBeforeWrite)/float64(r.L1.Stores),
+				r.Coherence.Invalidations, r.Coherence.OwnerFlushes,
+				tables.Pct(r.DirtyL1))
 		}
 	}
 	return t.String() +
-		"the paper's hypothesis: invalidations remove dirty blocks, so RBW/store falls with sharing\n"
+		"the paper's hypothesis: invalidations remove dirty blocks, so RBW/store falls with sharing\n", nil
 }

@@ -353,6 +353,34 @@ func (s *Service) execute(ctx context.Context, job *Job) (*Result, error) {
 		}
 		s.setProgress(job, 1, 1)
 		res.Artifacts["montecarlo"] = out
+	case KindMulticore:
+		prof, _ := trace.ProfileByName(spec.Bench) // validated by normalize
+		s.setProgress(job, 0, 1)
+		run, err := experiments.MulticoreCellCtx(ctx, prof, spec.Cores, spec.SharedFrac, spec.budget())
+		if err != nil {
+			return nil, err
+		}
+		s.setProgress(job, 1, 1)
+		rbwPerStore := 0.0
+		if run.L1.Stores > 0 {
+			rbwPerStore = float64(run.L1.ReadBeforeWrite) / float64(run.L1.Stores)
+		}
+		res.Values = map[string]float64{
+			"cpi":             run.CPI,
+			"cycles":          float64(run.Cycles),
+			"instructions":    float64(run.Instructions),
+			"rbw_per_store":   rbwPerStore,
+			"bus_reads":       float64(run.Coherence.BusReads),
+			"bus_readx":       float64(run.Coherence.BusReadX),
+			"invalidations":   float64(run.Coherence.Invalidations),
+			"owner_flushes":   float64(run.Coherence.OwnerFlushes),
+			"bus_busy_cycles": float64(run.Coherence.BusBusyCycles),
+			"dirty_l1_frac":   run.DirtyL1,
+		}
+		res.Artifacts["summary"] = fmt.Sprintf(
+			"%s x%d cores (shared %.2f): CPI %.4f over %d cycles; RBW/store %.4f, %d invalidations, %d owner flushes\n",
+			run.Bench, run.Cores, run.SharedFrac, run.CPI, run.Cycles,
+			rbwPerStore, run.Coherence.Invalidations, run.Coherence.OwnerFlushes)
 	default:
 		return nil, fmt.Errorf("unknown job kind %q", spec.Kind) // unreachable after normalize
 	}

@@ -280,10 +280,74 @@ func TestCanonicalSpecHash(t *testing.T) {
 		{Kind: "simulate", Bench: "nope", Scheme: "cppc"},
 		{Kind: "suite", Figures: []string{"fig99"}},
 		{Kind: "suite", Bench: "gzip"},
+		{Kind: "multicore", Bench: "nope"},
+		{Kind: "multicore", Cores: 64},
+		{Kind: "multicore", SharedFrac: 1.5},
+		{Kind: "multicore", Scheme: "cppc"},
 	} {
 		if _, err := svc.Submit(bad); err == nil {
 			t.Fatalf("bad spec accepted: %+v", bad)
 		}
+	}
+}
+
+// TestMulticoreJob submits a small timed Sec. 7 cell and checks the
+// reported values, plus cache-sharing between equivalent spellings
+// (defaulted vs. explicit bench/cores).
+func TestMulticoreJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed multicore simulation")
+	}
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Shutdown(context.Background())
+
+	spec := service.JobSpec{Kind: "multicore", Cores: 2, SharedFrac: 0.5, Warmup: 2000, Measure: 5000}
+	job, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		j, err := svc.Job(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == service.StateDone {
+			break
+		}
+		if j.State == service.StateFailed || j.State == service.StateCanceled {
+			t.Fatalf("job ended %s: %s", j.State, j.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("multicore job stuck in %s", j.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, res, err := svc.JobResult(job.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.Values["cpi"] <= 0 || res.Values["cycles"] <= 0 {
+		t.Fatalf("degenerate multicore values: %v", res.Values)
+	}
+	if res.Values["instructions"] != 2*5000 {
+		t.Fatalf("expected %d instructions, got %v", 2*5000, res.Values["instructions"])
+	}
+	if !strings.Contains(res.Artifacts["summary"], "x2 cores") {
+		t.Fatalf("summary malformed: %q", res.Artifacts["summary"])
+	}
+
+	// Defaulted bench ("gzip") must share a cache entry with the explicit
+	// spelling.
+	explicit := spec
+	explicit.Bench = "gzip"
+	explicit.Seed = 1
+	j2, err := svc.Submit(explicit)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !j2.CacheHit {
+		t.Fatalf("equivalent multicore spec missed the cache")
 	}
 }
 

@@ -23,6 +23,7 @@ const (
 	KindSuite      = "suite"      // full benchmark x scheme matrix + figures
 	KindSimulate   = "simulate"   // one benchmark under one protection scheme
 	KindMonteCarlo = "montecarlo" // PARMA-style Monte-Carlo lifetime campaign
+	KindMulticore  = "multicore"  // timed Sec. 7 multiprocessor cell
 )
 
 // suiteArtifacts are the renderable outputs of a suite job, in canonical
@@ -46,6 +47,11 @@ type JobSpec struct {
 	Scheme string `json:"scheme,omitempty"` // simulate: protection scheme
 
 	Trials int `json:"trials,omitempty"` // montecarlo: trials per scheme
+
+	// Multicore jobs: core count and the fraction of each core's memory
+	// accesses that target the shared region.
+	Cores      int     `json:"cores,omitempty"`
+	SharedFrac float64 `json:"shared_frac,omitempty"`
 
 	// Figures restricts which suite artifacts are rendered (subset of
 	// fig10 fig11 fig12 table2 table3); empty means all of them.
@@ -74,9 +80,10 @@ func parseScheme(name string) (experiments.SchemeID, error) {
 func (s JobSpec) normalize() (JobSpec, error) {
 	n := s
 	switch n.Kind {
-	case KindSuite, KindSimulate, KindMonteCarlo:
+	case KindSuite, KindSimulate, KindMonteCarlo, KindMulticore:
 	case "":
-		return n, fmt.Errorf("missing job kind (want %s, %s or %s)", KindSuite, KindSimulate, KindMonteCarlo)
+		return n, fmt.Errorf("missing job kind (want %s, %s, %s or %s)",
+			KindSuite, KindSimulate, KindMonteCarlo, KindMulticore)
 	default:
 		return n, fmt.Errorf("unknown job kind %q", n.Kind)
 	}
@@ -148,6 +155,30 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		}
 		n.Figures = nil
 		n.Budget, n.Warmup, n.Measure = "", 0, 0 // campaigns have their own horizon
+	case KindMulticore:
+		if n.Scheme != "" {
+			return n, fmt.Errorf("multicore jobs take no scheme (the hierarchy is CPPC end-to-end)")
+		}
+		if n.Bench == "" {
+			n.Bench = "gzip"
+		}
+		if _, ok := trace.ProfileByName(n.Bench); !ok {
+			return n, fmt.Errorf("unknown benchmark %q", n.Bench)
+		}
+		if n.Cores == 0 {
+			n.Cores = 4
+		}
+		if n.Cores < 1 || n.Cores > 32 {
+			return n, fmt.Errorf("cores must be in [1,32], got %d", n.Cores)
+		}
+		if n.SharedFrac < 0 || n.SharedFrac > 1 {
+			return n, fmt.Errorf("shared_frac must be in [0,1], got %v", n.SharedFrac)
+		}
+		n.Trials = 0
+		n.Figures = nil
+	}
+	if n.Kind != KindMulticore {
+		n.Cores, n.SharedFrac = 0, 0
 	}
 	return n, nil
 }

@@ -1,0 +1,73 @@
+package trace
+
+// Per-core trace sources for the Sec. 7 multiprocessor runs. Every core
+// draws from the same profile but its own deterministic stream; a
+// configurable fraction of each core's memory accesses lands in a region
+// shared by all cores, the rest in a private per-core copy of the
+// footprint. Address offsets are multiples of 1MB, so set-index bits are
+// preserved and a private stream behaves exactly like the unshifted
+// profile (only tags differ) — which makes the 1-core private run a clean
+// slowdown baseline.
+
+// coreStride rounds span up to a 1MB multiple: big enough to keep
+// per-core regions disjoint, aligned so L1/L2 set mapping is unchanged.
+func coreStride(span int) uint64 {
+	const mb = 1 << 20
+	return (uint64(span) + mb - 1) &^ uint64(mb-1)
+}
+
+// CoreGen is one core's stream: the profile generator plus a sharing
+// coin. It implements Source and BatchSource.
+type CoreGen struct {
+	gen        *Gen
+	coin       *lfRand
+	sharedFrac float64
+	offset     uint64 // base of this core's private region
+}
+
+// NewCoreGens builds one deterministic generator per core. sharedFrac is
+// the probability a memory access targets the shared region (the
+// profile's base footprint); everything else goes to the core's private
+// copy. Same (profile, cores, sharedFrac, seed) ⇒ identical streams.
+func (p Profile) NewCoreGens(cores int, sharedFrac float64, seed int64) []*CoreGen {
+	stride := coreStride(p.WorkingSetBytes + p.StoreBytes)
+	gens := make([]*CoreGen, cores)
+	for i := 0; i < cores; i++ {
+		s := seed + int64(i)*0x9e3779b9 // distinct per-core seeds
+		gens[i] = &CoreGen{
+			gen:        p.NewGen(s),
+			coin:       newLFRand(s ^ 0x5deece66d),
+			sharedFrac: sharedFrac,
+			offset:     uint64(i+1) * stride,
+		}
+	}
+	return gens
+}
+
+// Next returns the next dynamic instruction, relocating private memory
+// accesses into the core's own region.
+func (g *CoreGen) Next() Instr {
+	in := g.gen.Next()
+	if in.Op == OpLoad || in.Op == OpStore {
+		// One coin flip per memory access keeps the underlying generator's
+		// draw sequence untouched, so the shared and private sub-streams
+		// stay profile-shaped.
+		if g.coin.Float64() >= g.sharedFrac {
+			in.Addr += g.offset
+		}
+	}
+	return in
+}
+
+// NextBatch implements BatchSource: identical to len(dst) Next calls.
+func (g *CoreGen) NextBatch(dst []Instr) int {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return len(dst)
+}
+
+var (
+	_ Source      = (*CoreGen)(nil)
+	_ BatchSource = (*CoreGen)(nil)
+)
