@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -149,6 +150,20 @@ var entries = []struct {
 			}
 		}
 	}},
+	{"L3CPI", func(b *testing.B) {
+		b.ReportAllocs()
+		p, ok := trace.ProfileByName("mcf")
+		if !ok {
+			panic("missing profile mcf")
+		}
+		bud := experiments.Budget{Warmup: 5_000, Measure: 15_000, Seed: 1}
+		for i := 0; i < b.N; i++ {
+			run, err := experiments.L3Cell(context.Background(), p, bud)
+			if err != nil || run.ParityCPI <= 0 {
+				panic(fmt.Sprintf("L3 cell broke: cpi=%v err=%v", run.ParityCPI, err))
+			}
+		}
+	}},
 }
 
 var benchRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -220,6 +235,33 @@ func compare(base, cur map[string]Result, tol float64) []string {
 	return bad
 }
 
+// deltaTable renders every baseline benchmark's baseline/current numbers
+// side by side, so a failing comparison shows the whole picture — which
+// entries regressed, by how much, and what stayed put — instead of only
+// the offenders.
+func deltaTable(base, cur map[string]Result) string {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("  %-20s %14s %14s %8s %16s\n",
+		"benchmark", "base ns/op", "cur ns/op", "delta", "allocs base/cur")
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			out += fmt.Sprintf("  %-20s %14.1f %14s %8s %16s\n",
+				name, b.NsPerOp, "-", "-", "-")
+			continue
+		}
+		out += fmt.Sprintf("  %-20s %14.1f %14.1f %+7.1f%% %10d/%d\n",
+			name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1),
+			b.AllocsPerOp, c.AllocsPerOp)
+	}
+	return out
+}
+
 func main() {
 	var (
 		dir   = flag.String("dir", ".", "directory holding BENCH_<n>.json baselines")
@@ -252,6 +294,7 @@ func main() {
 			for _, m := range bad {
 				fmt.Fprintf(os.Stderr, "  %s\n", m)
 			}
+			fmt.Fprintf(os.Stderr, "bench: full comparison vs %s:\n%s", baseName, deltaTable(base.Results, cur))
 			os.Exit(1)
 		}
 		fmt.Printf("no regressions vs %s (tolerance %.0f%%)\n", baseName, 100**tol)

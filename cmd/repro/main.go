@@ -145,7 +145,7 @@ func main() {
 	if all || *l3 {
 		checkCtx()
 		fmt.Fprintln(os.Stderr, "running the L3 study...")
-		out, err := experiments.SectionL3(budget)
+		out, err := experiments.SectionL3Ctx(ctx, budget)
 		if err != nil {
 			fail(err)
 		}

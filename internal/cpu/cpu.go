@@ -314,7 +314,12 @@ func (c *Core) RunCtx(ctx context.Context, src trace.Source, n int) (Result, err
 			lastDone = done
 		}
 		if c.Mem.Halted() {
+			// The halting instruction itself executed (it raised the DUE);
+			// everything after it did not. Leaving executed at n here would
+			// overstate instructions and understate CPI in every
+			// fault-injection run that halts.
 			res.Halted = true
+			executed = i + 1
 			break
 		}
 	}

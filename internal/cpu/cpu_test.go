@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cppc/internal/core"
+	"cppc/internal/protect"
 	"cppc/internal/trace"
 )
 
@@ -116,11 +117,11 @@ func TestFigure10Ordering(t *testing.T) {
 func TestL2SeesTraffic(t *testing.T) {
 	sys := NewSystem(Parity1DFactory(), Parity1DFactory())
 	RunBenchmark(gzipProfile(), 100000, 1, sys)
-	if sys.L2.Stats.Accesses() == 0 {
+	if sys.L2().Stats.Accesses() == 0 {
 		t.Fatal("no L2 traffic")
 	}
-	if sys.L1.Stats.MissRate() <= 0 || sys.L1.Stats.MissRate() > 0.5 {
-		t.Fatalf("implausible L1 miss rate %.3f", sys.L1.Stats.MissRate())
+	if sys.L1().Stats.MissRate() <= 0 || sys.L1().Stats.MissRate() > 0.5 {
+		t.Fatalf("implausible L1 miss rate %.3f", sys.L1().Stats.MissRate())
 	}
 }
 
@@ -131,12 +132,12 @@ func TestMcfMissesHard(t *testing.T) {
 	easy := NewSystem(Parity1DFactory(), Parity1DFactory())
 	eon, _ := trace.ProfileByName("eon")
 	RunBenchmark(eon, 200000, 1, easy)
-	if sys.L1.Stats.MissRate() <= easy.L1.Stats.MissRate() {
+	if sys.L1().Stats.MissRate() <= easy.L1().Stats.MissRate() {
 		t.Errorf("mcf L1 miss rate %.3f not above eon %.3f",
-			sys.L1.Stats.MissRate(), easy.L1.Stats.MissRate())
+			sys.L1().Stats.MissRate(), easy.L1().Stats.MissRate())
 	}
 	// mcf's L2 should miss most of the time (paper: ~80%).
-	if mr := sys.L2.Stats.MissRate(); mr < 0.5 {
+	if mr := sys.L2().Stats.MissRate(); mr < 0.5 {
 		t.Errorf("mcf L2 miss rate %.3f, want high (paper ~0.8)", mr)
 	}
 }
@@ -166,12 +167,12 @@ func TestICacheModeling(t *testing.T) {
 	p := gzipProfile()
 	// Without the I-cache.
 	sysA := NewSystem(Parity1DFactory(), Parity1DFactory())
-	coreA := NewCore(Table1Config(), sysA.L1)
+	coreA := NewCore(Table1Config(), sysA.L1())
 	base := coreA.Run(p.NewGen(1), 100000)
 
 	// With a 16KB L1I over a 64KB code footprint: extra front-end stalls.
 	sysB := NewSystem(Parity1DFactory(), Parity1DFactory())
-	coreB := NewCore(Table1Config(), sysB.L1)
+	coreB := NewCore(Table1Config(), sysB.L1())
 	coreB.SetICache(sysB.L1I, 64<<10)
 	with := coreB.Run(p.NewGen(1), 100000)
 
@@ -187,12 +188,137 @@ func TestICacheModeling(t *testing.T) {
 	}
 }
 
+// TestHaltTruncatesInstructionCount: a run cut short by a DUE must report
+// the instructions actually executed — the halting instruction counts,
+// nothing after it does. (The bug: Result.Instructions stayed at the
+// requested n, overstating work and understating CPI in every
+// fault-injection run that halts.)
+func TestHaltTruncatesInstructionCount(t *testing.T) {
+	sys := NewSystem(Parity1DFactory(), Parity1DFactory())
+	defer sys.Release()
+	core := NewCore(Table1Config(), sys.L1())
+	p := gzipProfile()
+	core.Run(p.NewGen(1), 50000) // dirty a working set
+
+	// Corrupt every resident dirty word: under parity-1d a dirty fault is
+	// uncorrectable, so the first load to any of them raises a DUE.
+	c := sys.L1().C
+	flipped := 0
+	for set := 0; set < c.Cfg.Sets(); set++ {
+		for way := 0; way < c.Cfg.Ways; way++ {
+			ln := c.Line(set, way)
+			if !ln.Valid {
+				continue
+			}
+			for g, d := range ln.Dirty {
+				if d {
+					c.FlipBits(set, way, g, 1<<13)
+					flipped++
+				}
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("warmup left no dirty words to corrupt")
+	}
+
+	const n = 200000
+	res := core.Run(p.NewGen(2), n)
+	if !res.Halted {
+		t.Fatal("machine did not halt on an uncorrectable dirty fault")
+	}
+	if res.Instructions == 0 || res.Instructions >= n {
+		t.Fatalf("halted run reports %d instructions, want 0 < i < %d", res.Instructions, n)
+	}
+	if want := float64(res.Cycles) / float64(res.Instructions); res.CPI != want {
+		t.Errorf("CPI %v inconsistent with Cycles/Instructions = %v", res.CPI, want)
+	}
+}
+
+// TestStackPortMatchesControllerPort: the generalized StackPort over the
+// Table 1 two-level stack must reproduce the single-controller port
+// bit-for-bit — same timing, same per-level cache statistics — so the
+// Fig. 10 results are unchanged by the level-list refactor.
+func TestStackPortMatchesControllerPort(t *testing.T) {
+	p, ok := trace.ProfileByName("crafty")
+	if !ok {
+		t.Fatal("crafty profile missing")
+	}
+	const n = 150000
+	mk := func() *System {
+		return NewSystem(CPPCFactory(core.DefaultL1Config()), Parity1DFactory())
+	}
+
+	sysA := mk()
+	defer sysA.Release()
+	resA := NewCore(Table1Config(), sysA.L1()).Run(p.NewGen(7), n)
+
+	sysB := mk()
+	defer sysB.Release()
+	resB := NewCoreWithPort(Table1Config(), sysB.Port()).Run(p.NewGen(7), n)
+
+	if resA != resB {
+		t.Errorf("timing diverged:\n controller: %+v\n stack:      %+v", resA, resB)
+	}
+	if sysA.L1().Stats != sysB.L1().Stats {
+		t.Errorf("L1 stats diverged:\n controller: %+v\n stack:      %+v", sysA.L1().Stats, sysB.L1().Stats)
+	}
+	if sysA.L2().Stats != sysB.L2().Stats {
+		t.Errorf("L2 stats diverged:\n controller: %+v\n stack:      %+v", sysA.L2().Stats, sysB.L2().Stats)
+	}
+}
+
+// TestWarmupFoldInvariance: fold counts reported after a warmed run must
+// cover the measure window only. Running warmup+measure in one shot and
+// running the same post-warmup stream with the warmup discarded by the
+// reset must report identical fold counts. (The bug: cache stats were
+// reset at the warmup boundary but CPPC's engine events were not, so
+// warmup folds inflated every energy ratio.)
+func TestWarmupFoldInvariance(t *testing.T) {
+	const warm, meas = 40000, 80000
+	folds := func(sys *System) uint64 {
+		var n uint64
+		for _, l := range sys.Levels {
+			if s, ok := l.Scheme.(*protect.CPPCScheme); ok {
+				n += s.Engine.Events.Folds
+			}
+		}
+		return n
+	}
+	mk := func() *System {
+		return NewSystem(CPPCFactory(core.DefaultL1Config()), CPPCFactory(core.DefaultL2Config()))
+	}
+	p := gzipProfile()
+
+	sysA := mk()
+	defer sysA.Release()
+	RunSourceWarm(p.NewGen(1), warm, meas, sysA)
+	foldsA := folds(sysA)
+
+	// Same stream, warmup played as a throwaway measurement: the second
+	// RunSourceWarm resets at its (empty) warmup boundary and measures the
+	// identical post-warmup instructions.
+	sysB := mk()
+	defer sysB.Release()
+	gen := p.NewGen(1)
+	RunSourceWarm(gen, 0, warm, sysB)
+	RunSourceWarm(gen, 0, meas, sysB)
+	foldsB := folds(sysB)
+
+	if foldsA == 0 {
+		t.Fatal("no folds measured")
+	}
+	if foldsA != foldsB {
+		t.Fatalf("warmup skews fold counts: %d with warmup, %d without", foldsA, foldsB)
+	}
+}
+
 func TestICacheFaultsAlwaysRecoverable(t *testing.T) {
 	// Instructions are read-only: every L1I word is clean, so parity plus
 	// refetch recovers any fault — the reason the paper's correction
 	// machinery targets the data side.
 	sys := NewSystem(Parity1DFactory(), Parity1DFactory())
-	core := NewCore(Table1Config(), sys.L1)
+	core := NewCore(Table1Config(), sys.L1())
 	core.SetICache(sys.L1I, 64<<10)
 	core.Run(gzipProfile().NewGen(2), 50000)
 

@@ -53,3 +53,36 @@ func (p ControllerPort) PlanStore(addr uint64) (bool, int) { return p.Ctrl.PlanS
 func (p ControllerPort) PlanLoadMiss(addr uint64) int      { return p.Ctrl.PlanLoadVictimRead(addr) }
 func (p ControllerPort) HitLatency() int                   { return p.Ctrl.C.Cfg.HitLatencyCycles }
 func (p ControllerPort) Halted() bool                      { return p.Ctrl.Halted }
+
+// StackPort adapts a single-core level-list hierarchy (System.Levels) to
+// the MemoryPort seam. Demand accesses and the pre-execution port
+// planning go to Levels[0] — the level the core touches directly, which
+// recurses down the stack itself — so its timing is call-for-call
+// identical to ControllerPort over the same top controller. Halted is
+// the aggregate it exists for: a DUE raised deep in the stack (during a
+// write-back verify at the L2 or L3, say) sets that level's flag, not
+// the L1's, and must still stop the machine.
+type StackPort struct {
+	Levels []*protect.Controller
+}
+
+func (p StackPort) LoadInto(addr, now uint64, res *protect.AccessResult) {
+	p.Levels[0].LoadInto(addr, now, res)
+}
+
+func (p StackPort) StoreInto(addr, val, now uint64, res *protect.AccessResult) {
+	p.Levels[0].StoreInto(addr, val, now, res)
+}
+
+func (p StackPort) PlanStore(addr uint64) (bool, int) { return p.Levels[0].PlanStoreRBW(addr) }
+func (p StackPort) PlanLoadMiss(addr uint64) int      { return p.Levels[0].PlanLoadVictimRead(addr) }
+func (p StackPort) HitLatency() int                   { return p.Levels[0].C.Cfg.HitLatencyCycles }
+
+func (p StackPort) Halted() bool {
+	for _, l := range p.Levels {
+		if l.Halted {
+			return true
+		}
+	}
+	return false
+}

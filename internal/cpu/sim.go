@@ -26,37 +26,91 @@ func CPPCFactory(cfg core.Config) SchemeFactory {
 	return func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, cfg) }
 }
 
-// System is the Table 1 memory system: L1D (and optionally L1I) on a
-// unified L2 on memory, each level behind its own protection controller.
+// Level describes one cache level of a stack: its geometry and the
+// protection scheme attached to it.
+type Level struct {
+	Cfg    cache.Config
+	Scheme SchemeFactory
+}
+
+// System is a single-core memory stack of any depth: Levels[0] faces the
+// core, each level backs the one above it, and the last level sits on
+// memory. The Table 1 two-level hierarchy is the common case (NewSystem);
+// the Sec. 7 L3 study stacks three levels through the same machinery.
 type System struct {
-	L1  *protect.Controller
-	L1I *protect.Controller // parity-protected instruction cache
-	L2  *protect.Controller
-	Mem *cache.Memory
+	Levels []*protect.Controller
+	L1I    *protect.Controller // optional parity-protected instruction cache
+	Mem    *cache.Memory
 }
 
-// NewSystem builds the Table 1 hierarchy with the given schemes. Memory
-// latency is ~200 cycles at 3 GHz. The L1I shares the unified L2;
-// instructions are read-only, so plain parity fully protects them — it is
-// wired into the front end only when a Core opts in via SetICache.
+// NewStack builds a hierarchy of arbitrary depth over mem. levels[0] is
+// the level closest to the core.
+func NewStack(mem *cache.Memory, levels ...Level) *System {
+	if len(levels) == 0 {
+		panic("cpu: a stack needs at least one cache level")
+	}
+	sys := &System{Levels: make([]*protect.Controller, len(levels)), Mem: mem}
+	var next cache.Backing = mem
+	for i := len(levels) - 1; i >= 0; i-- {
+		c := cache.New(levels[i].Cfg)
+		ct := protect.NewController(c, levels[i].Scheme(c), next)
+		sys.Levels[i] = ct
+		next = ct
+	}
+	return sys
+}
+
+// NewSystem builds the Table 1 hierarchy with the given schemes: L1D (and
+// an L1I) on a unified L2 on memory. Memory latency is ~200 cycles at
+// 3 GHz. The L1I shares the unified L2; instructions are read-only, so
+// plain parity fully protects them — it is wired into the front end only
+// when a Core opts in via SetICache.
 func NewSystem(mkL1, mkL2 SchemeFactory) *System {
-	mem := cache.NewMemory(32, 200)
-	l2c := cache.New(cache.L2Config())
-	l2 := protect.NewController(l2c, mkL2(l2c), mem)
-	l1c := cache.New(cache.L1DConfig())
-	l1 := protect.NewController(l1c, mkL1(l1c), l2)
+	sys := NewStack(cache.NewMemory(32, 200),
+		Level{Cfg: cache.L1DConfig(), Scheme: mkL1},
+		Level{Cfg: cache.L2Config(), Scheme: mkL2},
+	)
 	lic := cache.New(cache.L1IConfig())
-	li := protect.NewController(lic, protect.NewParity1D(lic, 8), l2)
-	return &System{L1: l1, L1I: li, L2: l2, Mem: mem}
+	sys.L1I = protect.NewController(lic, protect.NewParity1D(lic, 8), sys.Levels[1])
+	return sys
 }
 
-// Release returns the system's cache arrays to the construction pool so
-// the next NewSystem skips their allocation. The system — including its
-// controllers and caches — must not be used afterwards.
+// L1 returns the data-cache level closest to the core, L2 the level below
+// it. They exist for the Table 1 two-level stack; deeper stacks index
+// Levels directly.
+func (sys *System) L1() *protect.Controller { return sys.Levels[0] }
+func (sys *System) L2() *protect.Controller { return sys.Levels[1] }
+
+// Port returns the system's MemoryPort: demand traffic enters at
+// Levels[0], and halt state aggregates over the whole stack.
+func (sys *System) Port() StackPort { return StackPort{Levels: sys.Levels} }
+
+// Release returns every level's cache arrays to the construction pool so
+// the next NewStack/NewSystem skips their allocation. The system —
+// including its controllers and caches — must not be used afterwards.
 func (sys *System) Release() {
-	sys.L1.C.Release()
-	sys.L1I.C.Release()
-	sys.L2.C.Release()
+	for _, l := range sys.Levels {
+		l.C.Release()
+	}
+	if sys.L1I != nil {
+		sys.L1I.C.Release()
+	}
+}
+
+// ResetStats zeroes every level's cache statistics, occupancy sampling
+// and scheme event counters (CPPC fold/recovery counts). It marks a
+// measurement boundary: everything read afterwards covers exactly the
+// instructions run afterwards. The event reset matters as much as the
+// stats reset — fold counts that keep their warmup contribution inflate
+// every CPPC energy ratio computed against post-warmup cache stats.
+func (sys *System) ResetStats() {
+	for _, l := range sys.Levels {
+		l.Stats = cache.Stats{}
+		l.C.ResetSampling()
+		if r, ok := l.Scheme.(protect.EventResetter); ok {
+			r.ResetEvents()
+		}
+	}
 }
 
 // RunBenchmark executes n instructions of a benchmark profile on the
@@ -64,7 +118,7 @@ func (sys *System) Release() {
 // result. The system's controllers accumulate cache statistics for the
 // energy and reliability models.
 func RunBenchmark(prof trace.Profile, n int, seed int64, sys *System) Result {
-	core := NewCore(Table1Config(), sys.L1)
+	core := NewCoreWithPort(Table1Config(), sys.Port())
 	return core.Run(prof.NewGen(seed), n)
 }
 
@@ -86,15 +140,12 @@ func RunSourceWarm(src trace.Source, warmup, measure int, sys *System) Result {
 // cancellation the partial measurement is discarded and the context's
 // error returned.
 func RunSourceWarmCtx(ctx context.Context, src trace.Source, warmup, measure int, sys *System) (Result, error) {
-	core := NewCore(Table1Config(), sys.L1)
+	core := NewCoreWithPort(Table1Config(), sys.Port())
 	w, err := core.RunCtx(ctx, src, warmup)
 	if err != nil {
 		return Result{}, err
 	}
-	sys.L1.Stats = cache.Stats{}
-	sys.L2.Stats = cache.Stats{}
-	sys.L1.C.ResetSampling()
-	sys.L2.C.ResetSampling()
+	sys.ResetStats()
 	m, err := core.RunCtx(ctx, src, measure)
 	if err != nil {
 		return Result{}, err

@@ -138,10 +138,17 @@ type Report struct {
 // Total sums the components.
 func (r Report) Total() float64 { return r.ReadPJ + r.WritePJ + r.RBWPJ + r.FoldPJ }
 
+// Ratio is the figure normalization: this report's total over base's
+// (e.g. CPPC over parity-1d). Both reports must be counted over the same
+// measurement window; NaN when base is empty.
+func (r Report) Ratio(base Report) float64 { return r.Total() / base.Total() }
+
 // Count applies the model to a run's cache statistics. accessWords is the
 // width of a demand access in words (1 for an L1 fed by a processor,
 // block words for an L2 fed by cache traffic); folds is the CPPC register
-// update count (0 for other schemes).
+// update count (0 for other schemes). stats and folds must cover the same
+// measurement window — resetting one at a warmup boundary but not the
+// other skews every ratio built from the report.
 func Count(st cache.Stats, m *Model, accessWords int, folds uint64) Report {
 	var r Report
 	r.ReadPJ = float64(st.LoadHits) * m.Read(accessWords)

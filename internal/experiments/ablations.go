@@ -21,9 +21,10 @@ func SinglePortAblation(b Budget) (string, error) {
 		"benchmark", "cppc split", "cppc single", "2d split", "2d single")
 	run := func(p trace.Profile, mk cpu.SchemeFactory, single bool) float64 {
 		sys := cpu.NewSystem(mk, cpu.Parity1DFactory())
+		defer sys.Release()
 		cfg := cpu.Table1Config()
 		cfg.SinglePorted = single
-		c := cpu.NewCore(cfg, sys.L1)
+		c := cpu.NewCoreWithPort(cfg, sys.Port())
 		gen := p.NewGen(b.Seed)
 		w := c.Run(gen, b.Warmup)
 		m := c.Run(gen, b.Measure)
@@ -121,7 +122,8 @@ func ICacheAblation(b Budget) (string, error) {
 		}
 		run := func(withIC bool) (float64, float64) {
 			sys := cpu.NewSystem(cpu.Parity1DFactory(), cpu.Parity1DFactory())
-			c := cpu.NewCore(cpu.Table1Config(), sys.L1)
+			defer sys.Release()
+			c := cpu.NewCoreWithPort(cpu.Table1Config(), sys.Port())
 			if withIC {
 				c.SetICache(sys.L1I, 64<<10)
 			}

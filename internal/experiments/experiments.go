@@ -108,14 +108,16 @@ func SimulateSourceCtx(ctx context.Context, name string, src trace.Source, id Sc
 	if err != nil {
 		return Run{}, err
 	}
-	r := Run{Bench: name, Scheme: id, CPI: res.CPI, L1: sys.L1.Stats, L2: sys.L2.Stats}
-	r.L1Gran.Dirty = sys.L1.C.DirtyFraction()
-	r.L1Gran.Tavg = sys.L1.C.Tavg()
-	r.L2Gran.Dirty = sys.L2.C.DirtyFraction()
-	r.L2Gran.Tavg = sys.L2.C.Tavg()
+	r := Run{Bench: name, Scheme: id, CPI: res.CPI, L1: sys.L1().Stats, L2: sys.L2().Stats}
+	r.L1Gran.Dirty = sys.L1().C.DirtyFraction()
+	r.L1Gran.Tavg = sys.L1().C.Tavg()
+	r.L2Gran.Dirty = sys.L2().C.DirtyFraction()
+	r.L2Gran.Tavg = sys.L2().C.Tavg()
 	if id == CPPC {
-		r.Folds.L1 = sys.L1.Scheme.(*protect.CPPCScheme).Engine.Events.Folds
-		r.Folds.L2 = sys.L2.Scheme.(*protect.CPPCScheme).Engine.Events.Folds
+		// Measure-window folds only: RunSourceWarmCtx reset the engine
+		// events together with the cache stats at the warmup boundary.
+		r.Folds.L1 = sys.L1().Scheme.(*protect.CPPCScheme).Engine.Events.Folds
+		r.Folds.L2 = sys.L2().Scheme.(*protect.CPPCScheme).Engine.Events.Folds
 	}
 	return r, nil
 }

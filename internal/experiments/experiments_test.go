@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -253,9 +254,35 @@ func TestSectionL3Report(t *testing.T) {
 	if err != nil {
 		t.Fatalf("SectionL3: %v", err)
 	}
-	for _, want := range []string{"mcf", "RBW/store L3", "cppc/parity L3 energy"} {
+	for _, want := range []string{"mcf", "RBW/store L3", "cppc/parity L3 energy",
+		"parity CPI", "cppc@L3 CPI", "cppc@L2 CPI"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("L3 report missing %q", want)
 		}
+	}
+}
+
+func TestL3CellDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-level simulation")
+	}
+	p, ok := trace.ProfileByName("mcf")
+	if !ok {
+		t.Fatal("mcf profile missing")
+	}
+	b := Budget{Warmup: 5_000, Measure: 15_000, Seed: 9}
+	r1, err := L3Cell(context.Background(), p, b)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	r2, err := L3Cell(context.Background(), p, b)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if r1 != r2 {
+		t.Errorf("same seed produced different L3 cells:\n%+v\n%+v", r1, r2)
+	}
+	if r1.ParityCPI <= 0 || r1.CPPCL3CPI <= 0 || r1.CPPCL2CPI <= 0 {
+		t.Errorf("timed L3 cell missing CPI columns: %+v", r1)
 	}
 }

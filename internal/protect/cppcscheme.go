@@ -72,6 +72,11 @@ func (s *CPPCScheme) OnStore(set, way, g int, old []uint64, wasDirty, oldVerifie
 	s.Engine.OnStore(set, way, g, old, wasDirty, oldVerified, now)
 }
 
+// ResetEvents implements EventResetter: it zeroes the engine's event
+// counters (folds, recoveries, ...) without touching any protection
+// state, so a measurement window can start counting from zero.
+func (s *CPPCScheme) ResetEvents() { s.Engine.Events = core.Events{} }
+
 // OnEvict verifies departing dirty granules (recovering latent faults so
 // they are not written back corrupted, and so R2 absorbs correct data),
 // then folds them into R2.

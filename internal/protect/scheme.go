@@ -40,6 +40,15 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// EventResetter is implemented by schemes that accumulate engine event
+// counters (CPPC's fold/recovery counts). ResetEvents zeroes them at a
+// measurement boundary so that counters read after a run cover exactly
+// the instructions run since the reset — the warmup boundary of the
+// energy experiments, where cache stats are reset the same way.
+type EventResetter interface {
+	ResetEvents()
+}
+
 // FaultStatus classifies what a load encountered.
 type FaultStatus int
 

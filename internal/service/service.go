@@ -381,6 +381,28 @@ func (s *Service) execute(ctx context.Context, job *Job) (*Result, error) {
 			"%s x%d cores (shared %.2f): CPI %.4f over %d cycles; RBW/store %.4f, %d invalidations, %d owner flushes\n",
 			run.Bench, run.Cores, run.SharedFrac, run.CPI, run.Cycles,
 			rbwPerStore, run.Coherence.Invalidations, run.Coherence.OwnerFlushes)
+	case KindL3:
+		prof, _ := trace.ProfileByName(spec.Bench) // validated by normalize
+		s.setProgress(job, 0, 1)
+		run, err := experiments.L3Cell(ctx, prof, spec.budget())
+		if err != nil {
+			return nil, err
+		}
+		s.setProgress(job, 1, 1)
+		res.Values = map[string]float64{
+			"cpi_parity":       run.ParityCPI,
+			"cpi_cppc_l3":      run.CPPCL3CPI,
+			"cpi_cppc_l2":      run.CPPCL2CPI,
+			"l3_accesses":      float64(run.L3Accesses),
+			"l3_miss_rate":     run.L3MissRate,
+			"rbw_per_store_l2": run.RBWPerStoreL2,
+			"rbw_per_store_l3": run.RBWPerStoreL3,
+			"l3_energy_ratio":  run.EnergyRatio,
+		}
+		res.Artifacts["summary"] = fmt.Sprintf(
+			"%s L3 study: CPI parity %.4f, cppc@L3 %.4f, cppc@L2 %.4f; RBW/store L2 %.4f vs L3 %.4f; L3 energy ratio %.4f\n",
+			run.Bench, run.ParityCPI, run.CPPCL3CPI, run.CPPCL2CPI,
+			run.RBWPerStoreL2, run.RBWPerStoreL3, run.EnergyRatio)
 	default:
 		return nil, fmt.Errorf("unknown job kind %q", spec.Kind) // unreachable after normalize
 	}

@@ -351,6 +351,69 @@ func TestMulticoreJob(t *testing.T) {
 	}
 }
 
+// TestL3Job submits a small timed Sec. 7 L3 cell and checks the reported
+// values, plus cache-sharing between the defaulted and explicit bench.
+func TestL3Job(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed three-level simulation")
+	}
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Shutdown(context.Background())
+
+	spec := service.JobSpec{Kind: "l3", Warmup: 2000, Measure: 5000}
+	job, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		j, err := svc.Job(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == service.StateDone {
+			break
+		}
+		if j.State == service.StateFailed || j.State == service.StateCanceled {
+			t.Fatalf("job ended %s: %s", j.State, j.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("l3 job stuck in %s", j.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, res, err := svc.JobResult(job.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	for _, key := range []string{"cpi_parity", "cpi_cppc_l3", "cpi_cppc_l2"} {
+		if res.Values[key] <= 0 {
+			t.Fatalf("degenerate L3 values (%s): %v", key, res.Values)
+		}
+	}
+	if !strings.Contains(res.Artifacts["summary"], "mcf L3 study") {
+		t.Fatalf("summary malformed: %q", res.Artifacts["summary"])
+	}
+
+	// Defaulted bench ("mcf") must share a cache entry with the explicit
+	// spelling.
+	explicit := spec
+	explicit.Bench = "mcf"
+	explicit.Seed = 1
+	j2, err := svc.Submit(explicit)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !j2.CacheHit {
+		t.Fatalf("equivalent l3 spec missed the cache")
+	}
+
+	// Scheme is meaningless for l3 jobs and must be rejected.
+	if _, err := svc.Submit(service.JobSpec{Kind: "l3", Scheme: "cppc"}); err == nil {
+		t.Fatal("l3 job with a scheme accepted")
+	}
+}
+
 // --- Queue bounds, queued-job cancellation, forced drain ----------------
 
 func TestQueueBoundsAndForcedShutdown(t *testing.T) {

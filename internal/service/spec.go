@@ -24,6 +24,7 @@ const (
 	KindSimulate   = "simulate"   // one benchmark under one protection scheme
 	KindMonteCarlo = "montecarlo" // PARMA-style Monte-Carlo lifetime campaign
 	KindMulticore  = "multicore"  // timed Sec. 7 multiprocessor cell
+	KindL3         = "l3"         // timed Sec. 7 three-level L3 cell
 )
 
 // suiteArtifacts are the renderable outputs of a suite job, in canonical
@@ -80,10 +81,10 @@ func parseScheme(name string) (experiments.SchemeID, error) {
 func (s JobSpec) normalize() (JobSpec, error) {
 	n := s
 	switch n.Kind {
-	case KindSuite, KindSimulate, KindMonteCarlo, KindMulticore:
+	case KindSuite, KindSimulate, KindMonteCarlo, KindMulticore, KindL3:
 	case "":
-		return n, fmt.Errorf("missing job kind (want %s, %s, %s or %s)",
-			KindSuite, KindSimulate, KindMonteCarlo, KindMulticore)
+		return n, fmt.Errorf("missing job kind (want %s, %s, %s, %s or %s)",
+			KindSuite, KindSimulate, KindMonteCarlo, KindMulticore, KindL3)
 	default:
 		return n, fmt.Errorf("unknown job kind %q", n.Kind)
 	}
@@ -173,6 +174,18 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		}
 		if n.SharedFrac < 0 || n.SharedFrac > 1 {
 			return n, fmt.Errorf("shared_frac must be in [0,1], got %v", n.SharedFrac)
+		}
+		n.Trials = 0
+		n.Figures = nil
+	case KindL3:
+		if n.Scheme != "" {
+			return n, fmt.Errorf("l3 jobs take no scheme (parity vs. CPPC placement is the experiment)")
+		}
+		if n.Bench == "" {
+			n.Bench = "mcf"
+		}
+		if _, ok := trace.ProfileByName(n.Bench); !ok {
+			return n, fmt.Errorf("unknown benchmark %q", n.Bench)
 		}
 		n.Trials = 0
 		n.Figures = nil
