@@ -8,14 +8,18 @@ package cppc
 // finishes in seconds per entry.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"cppc/internal/experiments"
 	"cppc/internal/fault"
 	"cppc/internal/parity"
 	"cppc/internal/protect"
 	"cppc/internal/reliability"
+	"cppc/internal/service"
 	"cppc/internal/trace"
 
 	icache "cppc/internal/cache"
@@ -255,6 +259,41 @@ func BenchmarkSection7Multicore(b *testing.B) {
 		if err != nil || out == "" {
 			b.Fatalf("empty section (err=%v)", err)
 		}
+	}
+}
+
+// BenchmarkShardedSuite runs one whole suite job through the daemon's
+// shard scheduler, on one worker and on eight. A fresh service per
+// iteration keeps the caches cold; the pair shows the sweep fan-out win
+// on multi-core hosts.
+func BenchmarkShardedSuite(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := service.JobSpec{Kind: "suite", Warmup: 5_000, Measure: 15_000}
+			for i := 0; i < b.N; i++ {
+				s := service.New(service.Config{Workers: workers})
+				job, err := s.Submit(spec)
+				if err != nil {
+					b.Fatalf("submit: %v", err)
+				}
+				for {
+					j, err := s.Job(job.ID)
+					if err != nil {
+						b.Fatalf("poll: %v", err)
+					}
+					if j.State == service.StateDone {
+						break
+					}
+					if j.State == service.StateFailed || j.State == service.StateCanceled {
+						b.Fatalf("job %s: %s", j.State, j.Error)
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if err := s.Shutdown(context.Background()); err != nil {
+					b.Fatalf("shutdown: %v", err)
+				}
+			}
+		})
 	}
 }
 

@@ -27,11 +27,14 @@ import (
 	"strconv"
 	"testing"
 
+	"time"
+
 	"cppc/internal/cache"
 	"cppc/internal/core"
 	"cppc/internal/experiments"
 	"cppc/internal/parity"
 	"cppc/internal/protect"
+	"cppc/internal/service"
 	"cppc/internal/trace"
 )
 
@@ -136,6 +139,8 @@ var entries = []struct {
 			}
 		}
 	}},
+	{"ShardedSuite1", func(b *testing.B) { runShardedSuite(b, 1) }},
+	{"ShardedSuite8", func(b *testing.B) { runShardedSuite(b, 8) }},
 	{"MulticoreCPI", func(b *testing.B) {
 		b.ReportAllocs()
 		p, ok := trace.ProfileByName("gzip")
@@ -164,6 +169,41 @@ var entries = []struct {
 			}
 		}
 	}},
+}
+
+// runShardedSuite measures the wall clock of one whole suite job through
+// the daemon's shard scheduler. A fresh Service per iteration keeps both
+// caches cold, so the number is scheduling plus simulation rather than
+// cache lookups; the 8-vs-1 worker pair shows the fan-out win on
+// machines that have the cores.
+func runShardedSuite(b *testing.B, workers int) {
+	b.ReportAllocs()
+	spec := service.JobSpec{Kind: "suite", Warmup: 5_000, Measure: 15_000}
+	for i := 0; i < b.N; i++ {
+		s := service.New(service.Config{Workers: workers})
+		job, err := s.Submit(spec)
+		if err != nil {
+			panic(fmt.Sprintf("sharded suite submit: %v", err))
+		}
+		for {
+			j, err := s.Job(job.ID)
+			if err != nil {
+				panic(fmt.Sprintf("sharded suite poll: %v", err))
+			}
+			if j.State == service.StateDone {
+				break
+			}
+			if j.State == service.StateFailed || j.State == service.StateCanceled {
+				panic(fmt.Sprintf("sharded suite job %s: %s", j.State, j.Error))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := s.Shutdown(ctx); err != nil {
+			panic(fmt.Sprintf("sharded suite shutdown: %v", err))
+		}
+		cancel()
+	}
 }
 
 var benchRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)

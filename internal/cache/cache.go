@@ -40,6 +40,7 @@ type Cache struct {
 	Geom   geometry.Layout
 	sets   [][]Line
 	lines  []Line // flat backing of sets, indexed set*nWays+way
+	ar     *arena // pooled wrapper the backing arrays came from, if any
 	lruClk uint64
 
 	// Probe/Victim-path mirrors of per-line state, flat-indexed
@@ -85,12 +86,16 @@ type Cache struct {
 // check bits and dirty state.
 type arena struct {
 	lines  []Line
+	sets   [][]Line
 	tags   []uint64
 	valids []bool
 	lrus   []uint64
 }
 
-type arenaKey struct{ nLines, blockWords, granules int }
+// nWays is part of the key because the arena now carries the per-set
+// slice headers: two geometries with the same line count but different
+// associativity must not swap arenas.
+type arenaKey struct{ nLines, nWays, blockWords, granules int }
 
 var arenaPools sync.Map // arenaKey -> *sync.Pool of *arena
 
@@ -101,10 +106,15 @@ func (c *Cache) Release() {
 	if c.lines == nil {
 		return
 	}
-	key := arenaKey{len(c.lines), c.blockWords, c.granules}
+	key := arenaKey{len(c.lines), c.nWays, c.blockWords, c.granules}
 	p, _ := arenaPools.LoadOrStore(key, new(sync.Pool))
-	p.(*sync.Pool).Put(&arena{lines: c.lines, tags: c.tags, valids: c.valids, lrus: c.lrus})
-	c.lines, c.sets, c.tags, c.valids, c.lrus = nil, nil, nil, nil, nil
+	a := c.ar
+	if a == nil {
+		a = new(arena)
+	}
+	*a = arena{lines: c.lines, sets: c.sets, tags: c.tags, valids: c.valids, lrus: c.lrus}
+	p.(*sync.Pool).Put(a)
+	c.lines, c.sets, c.tags, c.valids, c.lrus, c.ar = nil, nil, nil, nil, nil, nil
 }
 
 // New builds an empty cache from a validated config.
@@ -116,7 +126,6 @@ func New(cfg Config) *Cache {
 	c := &Cache{
 		Cfg:             cfg,
 		Geom:            cfg.Layout(),
-		sets:            make([][]Line, cfg.Sets()),
 		nSets:           cfg.Sets(),
 		nWays:           cfg.Ways,
 		blockWords:      cfg.BlockWords(),
@@ -138,19 +147,18 @@ func New(cfg Config) *Cache {
 	}
 	nLines := c.nSets * c.nWays
 	bw, ng := c.blockWords, c.granules
-	if p, ok := arenaPools.Load(arenaKey{nLines, bw, ng}); ok {
+	if p, ok := arenaPools.Load(arenaKey{nLines, c.nWays, bw, ng}); ok {
 		if a, _ := p.(*sync.Pool).Get().(*arena); a != nil {
-			c.lines, c.tags, c.valids, c.lrus = a.lines, a.tags, a.valids, a.lrus
+			c.ar = a
+			c.lines, c.sets, c.tags, c.valids, c.lrus = a.lines, a.sets, a.tags, a.valids, a.lrus
 			for i := range c.lines {
 				c.lines[i].Valid = false
 			}
 			clear(c.valids)
-			for s := range c.sets {
-				c.sets[s] = c.lines[s*c.nWays : (s+1)*c.nWays : (s+1)*c.nWays]
-			}
 			return c
 		}
 	}
+	c.sets = make([][]Line, c.nSets)
 	// One backing array per field, subsliced per line: construction cost is
 	// a handful of allocations instead of four per line, and line payloads
 	// end up contiguous in memory.

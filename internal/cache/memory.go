@@ -1,5 +1,7 @@
 package cache
 
+import "sync"
+
 // Backing is the next level below a cache controller: either main memory
 // or another (protected) cache level.
 type Backing interface {
@@ -22,13 +24,30 @@ type Memory struct {
 	WriteBacks uint64
 }
 
+// memWordsPool recycles the sparse word map across Memory lifetimes:
+// clear() keeps a map's buckets, so a released memory re-serves a
+// same-footprint simulation without re-growing (write-back bucket growth
+// otherwise shows up in every short cell's allocation profile).
+var memWordsPool = sync.Pool{New: func() any { return make(map[uint64]uint64, 1024) }}
+
 // NewMemory creates a memory serving blocks of the given size.
 func NewMemory(blockBytes, latency int) *Memory {
 	return &Memory{
-		words:        make(map[uint64]uint64),
+		words:        memWordsPool.Get().(map[uint64]uint64),
 		blockBytes:   blockBytes,
 		LatencyCycle: latency,
 	}
+}
+
+// Release returns the memory's word map to the construction pool. The
+// memory must not be used afterwards.
+func (m *Memory) Release() {
+	if m.words == nil {
+		return
+	}
+	clear(m.words)
+	memWordsPool.Put(m.words)
+	m.words = nil
 }
 
 // ReadWord returns the golden value at a word-aligned address.

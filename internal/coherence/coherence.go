@@ -22,6 +22,8 @@ package coherence
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"cppc/internal/cache"
 	"cppc/internal/protect"
@@ -37,10 +39,15 @@ type Stats struct {
 	BusBusyCycles               uint64 // cycles the bus/directory was reserved (timed runs)
 }
 
-// dirEntry tracks one block's global state.
+// dirEntry tracks one block's global state. Sharers are a bitmask (one
+// bit per core, so the system is capped at 64 cores) and entries are
+// stored by value: looking up or creating a block's state costs zero
+// allocations, where a pointer-and-inner-map representation paid two per
+// block plus bucket growth on every new sharer — the dominant allocation
+// cost of a multicore cell.
 type dirEntry struct {
-	sharers map[int]bool
-	owner   int // core holding the block Modified, or -1
+	sharers uint64 // bitmask of cores holding a valid copy
+	owner   int16  // core holding the block Modified, or -1
 }
 
 // Multiprocessor is N cores with private L1s over one shared L2.
@@ -54,12 +61,17 @@ type Multiprocessor struct {
 	// behaviour the functional tests rely on.
 	Timing Timing
 
-	dir     map[uint64]*dirEntry
+	dir     map[uint64]dirEntry
 	Stats   Stats
 	busFree uint64 // first cycle the bus/directory is free again (FCFS)
 
 	blockBytes uint64
 }
+
+// dirPool recycles directory maps across Multiprocessor lifetimes:
+// clear() keeps a map's buckets, so a released directory re-serves a
+// same-footprint run without re-growing.
+var dirPool = sync.Pool{New: func() any { return make(map[uint64]dirEntry, 1024) }}
 
 // SchemeFactory builds a protection scheme for one cache.
 type SchemeFactory func(c *cache.Cache) protect.Scheme
@@ -67,12 +79,15 @@ type SchemeFactory func(c *cache.Cache) protect.Scheme
 // New builds an n-core system. l1cfg/l2cfg describe the caches; mkL1/mkL2
 // build each level's protection.
 func New(n int, l1cfg, l2cfg cache.Config, mkL1, mkL2 SchemeFactory, memLatency int) *Multiprocessor {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("coherence: cores must be in [1,64], got %d", n))
+	}
 	mem := cache.NewMemory(l2cfg.BlockBytes, memLatency)
 	l2c := cache.New(l2cfg)
 	l2 := protect.NewController(l2c, mkL2(l2c), mem)
 	m := &Multiprocessor{
 		L2: l2, Mem: mem,
-		dir:        make(map[uint64]*dirEntry),
+		dir:        dirPool.Get().(map[uint64]dirEntry),
 		blockBytes: uint64(l1cfg.BlockBytes),
 	}
 	for i := 0; i < n; i++ {
@@ -84,24 +99,43 @@ func New(n int, l1cfg, l2cfg cache.Config, mkL1, mkL2 SchemeFactory, memLatency 
 
 func (m *Multiprocessor) block(addr uint64) uint64 { return addr &^ (m.blockBytes - 1) }
 
-func (m *Multiprocessor) entry(addr uint64) *dirEntry {
+// Release returns the system's cache arrays and directory map to their
+// construction pools for reuse by a future New of the same shape. The
+// Multiprocessor — including its controllers, caches and ports — must not
+// be used afterwards.
+func (m *Multiprocessor) Release() {
+	for _, l1 := range m.L1s {
+		l1.C.Release()
+	}
+	m.L2.C.Release()
+	m.Mem.Release()
+	if m.dir != nil {
+		clear(m.dir)
+		dirPool.Put(m.dir)
+		m.dir = nil
+	}
+}
+
+// entry loads a block's directory state (a zero-allocation value copy;
+// the caller writes the mutated entry back with commit).
+func (m *Multiprocessor) entry(addr uint64) (uint64, dirEntry) {
 	b := m.block(addr)
 	e, ok := m.dir[b]
 	if !ok {
-		e = &dirEntry{sharers: make(map[int]bool), owner: -1}
-		m.dir[b] = e
+		e = dirEntry{owner: -1}
 	}
-	return e
+	return b, e
 }
 
 // noteEvictions reconciles the directory with silent L1 replacements: a
 // core's copy may have been evicted by capacity pressure without a
-// protocol event. Cheap probe-based lazy cleanup.
+// protocol event. Cheap probe-based lazy cleanup over the sharer bits.
 func (m *Multiprocessor) reconcile(e *dirEntry, addr uint64) {
-	for core := range e.sharers {
+	for s := e.sharers; s != 0; s &= s - 1 {
+		core := bits.TrailingZeros64(s)
 		if _, way := m.L1s[core].C.Probe(addr); way < 0 {
-			delete(e.sharers, core)
-			if e.owner == core {
+			e.sharers &^= 1 << core
+			if int(e.owner) == core {
 				e.owner = -1
 			}
 		}
@@ -127,14 +161,14 @@ func (m *Multiprocessor) Write(core int, addr, val, now uint64) protect.AccessRe
 // returned Latency includes bus-wait, bus-transaction, and owner-flush
 // cycles on top of the local hierarchy's latency.
 func (m *Multiprocessor) ReadInto(core int, addr, now uint64, res *protect.AccessResult) {
-	e := m.entry(addr)
-	m.reconcile(e, addr)
+	b, e := m.entry(addr)
+	m.reconcile(&e, addr)
 	extra := 0
-	if !e.sharers[core] {
+	if e.sharers&(1<<core) == 0 {
 		m.Stats.BusReads++
 		extra = m.busAcquire(now, m.Timing.BusCycles)
 		// A remote Modified copy must reach the L2 before we fetch.
-		if e.owner >= 0 && e.owner != core {
+		if e.owner >= 0 && int(e.owner) != core {
 			if m.L1s[e.owner].FlushBlock(addr, now) {
 				m.Stats.OwnerFlushes++
 				extra += m.busExtend(m.Timing.OwnerFlushCycles)
@@ -144,24 +178,23 @@ func (m *Multiprocessor) ReadInto(core int, addr, now uint64, res *protect.Acces
 	}
 	m.L1s[core].LoadInto(addr, now+uint64(extra), res)
 	res.Latency += extra
-	e.sharers[core] = true
+	e.sharers |= 1 << core
+	m.dir[b] = e
 }
 
 // WriteInto performs a store by `core` at addr. With a non-zero Timing
 // the returned Latency includes bus-wait, bus-transaction, invalidation,
 // and owner-writeback cycles on top of the local hierarchy's latency.
 func (m *Multiprocessor) WriteInto(core int, addr, val, now uint64, res *protect.AccessResult) {
-	e := m.entry(addr)
-	m.reconcile(e, addr)
+	b, e := m.entry(addr)
+	m.reconcile(&e, addr)
 	extra := 0
-	if e.owner != core {
+	if int(e.owner) != core {
 		m.Stats.BusReadX++
 		extra = m.busAcquire(now, m.Timing.BusCycles)
-		for other := range e.sharers {
-			if other == core {
-				continue
-			}
-			wasOwner := e.owner == other
+		for s := e.sharers &^ (1 << core); s != 0; s &= s - 1 {
+			other := bits.TrailingZeros64(s)
+			wasOwner := int(e.owner) == other
 			if m.L1s[other].InvalidateBlock(addr, now) {
 				m.Stats.Invalidations++
 				extra += m.busExtend(m.Timing.InvalidateCycles)
@@ -170,13 +203,14 @@ func (m *Multiprocessor) WriteInto(core int, addr, val, now uint64, res *protect
 					extra += m.busExtend(m.Timing.OwnerFlushCycles)
 				}
 			}
-			delete(e.sharers, other)
+			e.sharers &^= 1 << other
 		}
-		e.owner = core
+		e.owner = int16(core)
 	}
 	m.L1s[core].StoreInto(addr, val, now+uint64(extra), res)
 	res.Latency += extra
-	e.sharers[core] = true
+	e.sharers |= 1 << core
+	m.dir[b] = e
 }
 
 // CheckCoherent verifies the single-writer/multi-reader invariant: at
@@ -197,7 +231,7 @@ func (m *Multiprocessor) CheckCoherent() error {
 		if len(hs) > 1 {
 			return fmt.Errorf("coherence: block %#x dirty in %d caches", b, len(hs))
 		}
-		if e, ok := m.dir[b]; ok && e.owner != hs[0].core {
+		if e, ok := m.dir[b]; ok && int(e.owner) != hs[0].core {
 			return fmt.Errorf("coherence: block %#x dirty in core %d but owner is %d",
 				b, hs[0].core, e.owner)
 		}

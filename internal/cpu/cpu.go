@@ -22,6 +22,7 @@ package cpu
 
 import (
 	"context"
+	"sync"
 
 	"cppc/internal/protect"
 	"cppc/internal/trace"
@@ -74,8 +75,6 @@ func opLatency(op trace.Op) int {
 
 // fuPool models k identical units by tracking each unit's next-free cycle.
 type fuPool struct{ free []uint64 }
-
-func newPool(k int) *fuPool { return &fuPool{free: make([]uint64, k)} }
 
 // acquire reserves the earliest-available unit at or after t for d cycles,
 // returning the start cycle.
@@ -152,8 +151,16 @@ type Core struct {
 
 	hitLat              int // cached Mem.HitLatency()
 	readPort, writePort *port
-	intALU, intMul      *fuPool
-	fpALU, fpMul        *fuPool
+	intALU, intMul      fuPool
+	fpALU, fpMul        fuPool
+
+	// The port state lives in the core (readPort/writePort alias these, or
+	// both alias rp when SinglePorted) so a core costs one allocation.
+	rp, wp port
+
+	// arena is the pooled scratch the ring buffers and functional-unit
+	// free lists are carved from; Release returns it (see coreArenas).
+	arena *coreArena
 
 	// completion times of recent instructions, for dependencies (ring).
 	done []uint64
@@ -201,33 +208,85 @@ func NewCore(cfg Config, d *protect.Controller) *Core {
 	return NewCoreWithPort(cfg, ControllerPort{Ctrl: d})
 }
 
+// doneRingSize is the dependency-tracking ring: producer distances are
+// bounded well below it.
+const doneRingSize = 4096
+
+// coreArena is one core's pooled scratch: a single uint64 backing array
+// carved into the rings and functional-unit free lists, plus the trace
+// refill buffer. Arenas are recycled per Config (coreArenas) so a sweep
+// of same-shaped cells pays the ~40KB of ring allocations once.
+type coreArena struct {
+	words  []uint64
+	srcBuf []trace.Instr
+}
+
+var coreArenas sync.Map // Config -> *sync.Pool of *coreArena
+
+func arenaWords(cfg Config) int {
+	return doneRingSize + cfg.RUUSize + cfg.LSQSize +
+		cfg.IntALU + cfg.IntMul + cfg.FPALU + cfg.FPMul
+}
+
 // NewCoreWithPort wires a core to any MemoryPort implementation.
 func NewCoreWithPort(cfg Config, mem MemoryPort) *Core {
-	rp := &port{cap: 2} // a small store buffer absorbs stolen reads
-	wp := &port{cap: 8}
-	if cfg.SinglePorted {
-		wp = rp // all traffic through one port
-	}
 	ringMask := func(n int) uint64 {
 		if n > 0 && n&(n-1) == 0 {
 			return uint64(n - 1)
 		}
 		return 0
 	}
-	return &Core{
+	c := &Core{
 		Cfg: cfg, Mem: mem, hitLat: mem.HitLatency(),
-		doneMask: ringMask(4096), ruuMask: ringMask(cfg.RUUSize), lsqMask: ringMask(cfg.LSQSize),
-		readPort:  rp,
-		writePort: wp,
-		intALU:    newPool(cfg.IntALU),
-		intMul:    newPool(cfg.IntMul),
-		fpALU:     newPool(cfg.FPALU),
-		fpMul:     newPool(cfg.FPMul),
-		done:      make([]uint64, 4096),
-		ruuRing:   make([]uint64, cfg.RUUSize),
-		lsqRing:   make([]uint64, cfg.LSQSize),
-		srcBuf:    make([]trace.Instr, 256),
+		doneMask: ringMask(doneRingSize), ruuMask: ringMask(cfg.RUUSize), lsqMask: ringMask(cfg.LSQSize),
+		rp: port{cap: 2}, // a small store buffer absorbs stolen reads
+		wp: port{cap: 8},
 	}
+	c.readPort, c.writePort = &c.rp, &c.wp
+	if cfg.SinglePorted {
+		c.writePort = &c.rp // all traffic through one port
+	}
+	var a *coreArena
+	if p, ok := coreArenas.Load(cfg); ok {
+		a, _ = p.(*sync.Pool).Get().(*coreArena)
+	}
+	if a == nil {
+		a = &coreArena{words: make([]uint64, arenaWords(cfg)), srcBuf: make([]trace.Instr, 256)}
+	} else {
+		// A zeroed arena is indistinguishable from a fresh one: the rings
+		// are only read at indices already written this run, but the
+		// functional-unit free lists hold absolute cycles and must reset.
+		clear(a.words)
+	}
+	w := a.words
+	carve := func(n int) []uint64 {
+		s := w[:n:n]
+		w = w[n:]
+		return s
+	}
+	c.done = carve(doneRingSize)
+	c.ruuRing = carve(cfg.RUUSize)
+	c.lsqRing = carve(cfg.LSQSize)
+	c.intALU.free = carve(cfg.IntALU)
+	c.intMul.free = carve(cfg.IntMul)
+	c.fpALU.free = carve(cfg.FPALU)
+	c.fpMul.free = carve(cfg.FPMul)
+	c.arena = a
+	c.srcBuf = a.srcBuf
+	return c
+}
+
+// Release returns the core's scratch arena to the per-Config pool for
+// reuse by a future NewCoreWithPort. The core must not run afterwards.
+func (c *Core) Release() {
+	if c.arena == nil {
+		return
+	}
+	p, _ := coreArenas.LoadOrStore(c.Cfg, new(sync.Pool))
+	p.(*sync.Pool).Put(c.arena)
+	c.arena, c.srcBuf = nil, nil
+	c.done, c.ruuRing, c.lsqRing = nil, nil, nil
+	c.intALU.free, c.intMul.free, c.fpALU.free, c.fpMul.free = nil, nil, nil, nil
 }
 
 // Run executes n instructions from src (a synthetic generator or a

@@ -36,6 +36,14 @@ func NewCluster(cfg Config, ports []MemoryPort, srcs []trace.Source) (*Cluster, 
 	return cl, nil
 }
 
+// Release returns every core's scratch arena to the construction pool
+// (see Core.Release). The cluster must not run afterwards.
+func (cl *Cluster) Release() {
+	for _, c := range cl.Cores {
+		c.Release()
+	}
+}
+
 // MulticoreResult aggregates a lock-step run.
 type MulticoreResult struct {
 	PerCore      []Result

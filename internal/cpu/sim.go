@@ -95,6 +95,9 @@ func (sys *System) Release() {
 	if sys.L1I != nil {
 		sys.L1I.C.Release()
 	}
+	if sys.Mem != nil {
+		sys.Mem.Release()
+	}
 }
 
 // ResetStats zeroes every level's cache statistics, occupancy sampling
@@ -119,6 +122,7 @@ func (sys *System) ResetStats() {
 // energy and reliability models.
 func RunBenchmark(prof trace.Profile, n int, seed int64, sys *System) Result {
 	core := NewCoreWithPort(Table1Config(), sys.Port())
+	defer core.Release()
 	return core.Run(prof.NewGen(seed), n)
 }
 
@@ -141,6 +145,7 @@ func RunSourceWarm(src trace.Source, warmup, measure int, sys *System) Result {
 // error returned.
 func RunSourceWarmCtx(ctx context.Context, src trace.Source, warmup, measure int, sys *System) (Result, error) {
 	core := NewCoreWithPort(Table1Config(), sys.Port())
+	defer core.Release()
 	w, err := core.RunCtx(ctx, src, warmup)
 	if err != nil {
 		return Result{}, err

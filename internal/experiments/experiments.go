@@ -129,6 +129,45 @@ type Suite struct {
 	Order  []string                    // benchmark order
 }
 
+// SuiteCell names one cell of the suite matrix: one benchmark under one
+// scheme. It is the shared unit of work between the in-process
+// RunSuiteCtx path and the daemon's shard planner — both expand the
+// matrix through SuiteCells, so there is exactly one definition of what
+// the suite computes.
+type SuiteCell struct {
+	Bench  string
+	Scheme SchemeID
+}
+
+// SuiteCells returns the full (benchmark, scheme) matrix in canonical
+// order: benchmarks in trace.Profiles() order, schemes in SchemeID order.
+func SuiteCells() []SuiteCell {
+	profiles := trace.Profiles()
+	ids := []SchemeID{Parity1D, CPPC, SECDED, TwoDim}
+	cells := make([]SuiteCell, 0, len(profiles)*len(ids))
+	for _, p := range profiles {
+		for _, id := range ids {
+			cells = append(cells, SuiteCell{Bench: p.Name, Scheme: id})
+		}
+	}
+	return cells
+}
+
+// NewSuite returns an empty suite with the benchmark order prefilled, so
+// cells can be added in any completion order and the rendered figures
+// stay byte-identical to a sequential run.
+func NewSuite(b Budget) *Suite {
+	s := &Suite{Budget: b, Runs: map[string]map[SchemeID]Run{}}
+	for _, p := range trace.Profiles() {
+		s.Order = append(s.Order, p.Name)
+		s.Runs[p.Name] = map[SchemeID]Run{}
+	}
+	return s
+}
+
+// Add records one completed cell.
+func (s *Suite) Add(run Run) { s.Runs[run.Bench][run.Scheme] = run }
+
 // SuiteOptions tunes how RunSuiteCtx schedules the experiment matrix.
 type SuiteOptions struct {
 	// Parallel bounds how many (benchmark, scheme) cells simulate
@@ -154,19 +193,14 @@ func RunSuite(b Budget) *Suite {
 // On cancellation the partial suite is discarded and the first error
 // (always the context's) is returned.
 func RunSuiteCtx(ctx context.Context, b Budget, opt SuiteOptions) (*Suite, error) {
-	profiles := trace.Profiles()
-	ids := []SchemeID{Parity1D, CPPC, SECDED, TwoDim}
-	s := &Suite{Budget: b, Runs: map[string]map[SchemeID]Run{}}
-	for _, p := range profiles {
-		s.Order = append(s.Order, p.Name)
-		s.Runs[p.Name] = map[SchemeID]Run{}
-	}
+	cells := SuiteCells()
+	s := NewSuite(b)
 
 	par := opt.Parallel
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	total := len(profiles) * len(ids)
+	total := len(cells)
 	sem := make(chan struct{}, par)
 	var (
 		mu       sync.Mutex
@@ -174,38 +208,40 @@ func RunSuiteCtx(ctx context.Context, b Budget, opt SuiteOptions) (*Suite, error
 		done     int
 		firstErr error
 	)
-	for _, p := range profiles {
-		for _, id := range ids {
-			wg.Add(1)
-			go func(p trace.Profile, id SchemeID) {
-				defer wg.Done()
-				select {
-				case sem <- struct{}{}:
-				case <-ctx.Done():
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = ctx.Err()
-					}
-					mu.Unlock()
-					return
-				}
-				defer func() { <-sem }()
-				run, err := SimulateCtx(ctx, p, id, b)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				s.Runs[p.Name][id] = run
-				done++
-				if opt.OnProgress != nil {
-					opt.OnProgress(done, total)
-				}
-			}(p, id)
+	for _, cell := range cells {
+		p, ok := trace.ProfileByName(cell.Bench)
+		if !ok {
+			return nil, fmt.Errorf("suite: profile %q not found", cell.Bench)
 		}
+		wg.Add(1)
+		go func(p trace.Profile, id SchemeID) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = ctx.Err()
+				}
+				mu.Unlock()
+				return
+			}
+			defer func() { <-sem }()
+			run, err := SimulateCtx(ctx, p, id, b)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			s.Add(run)
+			done++
+			if opt.OnProgress != nil {
+				opt.OnProgress(done, total)
+			}
+		}(p, cell.Scheme)
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -124,11 +124,8 @@ func L3Cell(ctx context.Context, p trace.Profile, b Budget) (L3Run, error) {
 // test) on the timed Table 1 core and comparing both CPI and the L3's
 // dynamic energy under CPPC and parity.
 func SectionL3Ctx(ctx context.Context, b Budget) (string, error) {
-	t := tables.New("Sec. 7: L3 CPPC under large-footprint workloads (timed)",
-		"benchmark", "parity CPI", "cppc@L3 CPI", "cppc@L2 CPI",
-		"L3 accesses", "L3 miss", "RBW/store L2", "RBW/store L3", "cppc/parity L3 energy")
-
-	for _, name := range []string{"mcf", "swim", "applu", "bzip2"} {
+	runs := make([]L3Run, 0, len(L3Benches()))
+	for _, name := range L3Benches() {
 		p, ok := trace.ProfileByName(name)
 		if !ok {
 			return "", fmt.Errorf("L3 experiment: profile %q not found", name)
@@ -137,7 +134,26 @@ func SectionL3Ctx(ctx context.Context, b Budget) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		t.Addf(name, r.ParityCPI, r.CPPCL3CPI, r.CPPCL2CPI,
+		runs = append(runs, r)
+	}
+	return L3Table(runs), nil
+}
+
+// L3Benches returns the canonical benchmark list of the Sec. 7 L3 study:
+// the large-footprint workloads the paper's conjecture is about. Both
+// the in-process sweep and the daemon's shard planner expand through
+// here.
+func L3Benches() []string { return []string{"mcf", "swim", "applu", "bzip2"} }
+
+// L3Table renders the Sec. 7 L3 study from per-cell results, which must
+// be in L3Benches order. The output is byte-identical to the sequential
+// sweep's.
+func L3Table(runs []L3Run) string {
+	t := tables.New("Sec. 7: L3 CPPC under large-footprint workloads (timed)",
+		"benchmark", "parity CPI", "cppc@L3 CPI", "cppc@L2 CPI",
+		"L3 accesses", "L3 miss", "RBW/store L2", "RBW/store L3", "cppc/parity L3 energy")
+	for _, r := range runs {
+		t.Addf(r.Bench, r.ParityCPI, r.CPPCL3CPI, r.CPPCL2CPI,
 			r.L3Accesses, tables.Pct(r.L3MissRate),
 			fmt.Sprintf("%.3f", r.RBWPerStoreL2), fmt.Sprintf("%.3f", r.RBWPerStoreL3),
 			fmt.Sprintf("%.3f", r.EnergyRatio))
@@ -149,8 +165,7 @@ func SectionL3Ctx(ctx context.Context, b Budget) (string, error) {
 		"large L3 keep rewriting still-dirty blocks and pay more read-before-writes than\n" +
 		"at the L2 — the L3 advantage is a property of the workload's write reuse, not of\n" +
 		"the level itself. The CPI columns show the timing side: an L3 hit is already 30\n" +
-		"cycles, so CPPC's stolen read-before-write slots are invisible at either level\n",
-		nil
+		"cycles, so CPPC's stolen read-before-write slots are invisible at either level\n"
 }
 
 // SectionL3 is SectionL3Ctx without cancellation.

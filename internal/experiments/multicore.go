@@ -58,8 +58,8 @@ func MulticoreCell(prof trace.Profile, cores int, sharedFrac float64, b Budget) 
 // per-core trace seeds derive from b.Seed and the lock-step order is
 // fixed.
 func MulticoreCellCtx(ctx context.Context, prof trace.Profile, cores int, sharedFrac float64, b Budget) (MulticoreRun, error) {
-	if cores <= 0 {
-		return MulticoreRun{}, fmt.Errorf("multicore: cores must be positive, got %d", cores)
+	if cores <= 0 || cores > 64 {
+		return MulticoreRun{}, fmt.Errorf("multicore: cores must be in [1,64], got %d", cores)
 	}
 	if sharedFrac < 0 || sharedFrac > 1 {
 		return MulticoreRun{}, fmt.Errorf("multicore: shared fraction %v outside [0,1]", sharedFrac)
@@ -71,6 +71,7 @@ func MulticoreCellCtx(ctx context.Context, prof trace.Profile, cores int, shared
 	mkL1 := func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, core.DefaultL1Config()) }
 	mkL2 := func(c *cache.Cache) protect.Scheme { return protect.MustCPPC(c, core.DefaultL2Config()) }
 	m := coherence.New(cores, l1cfg, l2cfg, mkL1, mkL2, 200)
+	defer m.Release()
 	m.Timing = coherence.DefaultTiming()
 
 	ports := make([]cpu.MemoryPort, cores)
@@ -83,6 +84,7 @@ func MulticoreCellCtx(ctx context.Context, prof trace.Profile, cores int, shared
 	if err != nil {
 		return MulticoreRun{}, err
 	}
+	defer cl.Release()
 	warm, err := cl.RunCtx(ctx, b.Warmup, 0)
 	if err != nil {
 		return MulticoreRun{}, err
@@ -118,6 +120,55 @@ func Section7Multicore(b Budget) (string, error) {
 	return Section7MulticoreCtx(context.Background(), b)
 }
 
+// MulticorePoint is one (cores, sharedFrac) cell of the Sec. 7 sweep.
+type MulticorePoint struct {
+	Cores      int
+	SharedFrac float64
+}
+
+// Section7Points returns the canonical Sec. 7 sweep matrix in row order:
+// cores {1,2,4,8} by shared fraction {0, 0.3, 0.6}, with the redundant
+// 1-core shared points dropped (a single core has nobody to share with).
+// The first point (1 core, private) is the slowdown baseline. Both the
+// in-process sweep and the daemon's shard planner expand through here.
+func Section7Points() []MulticorePoint {
+	var pts []MulticorePoint
+	for _, cores := range []int{1, 2, 4, 8} {
+		for _, sf := range []float64{0, 0.3, 0.6} {
+			if cores == 1 && sf > 0 {
+				continue
+			}
+			pts = append(pts, MulticorePoint{Cores: cores, SharedFrac: sf})
+		}
+	}
+	return pts
+}
+
+// Section7Table renders the Sec. 7 sweep from per-cell results, which
+// must be in Section7Points order (runs[0] is the slowdown baseline).
+// The output is byte-identical to the sequential sweep's.
+func Section7Table(runs []MulticoreRun) string {
+	t := tables.New("Sec. 7: timed write-invalidate coherence vs. CPPC read-before-writes",
+		"cores", "shared frac", "CPI", "slowdown", "RBW/store", "invalidations", "owner flushes", "dirty L1 avg")
+	var baseCPI float64
+	if len(runs) > 0 {
+		baseCPI = runs[0].CPI
+	}
+	for _, r := range runs {
+		slowdown := 0.0
+		if baseCPI > 0 {
+			slowdown = r.CPI / baseCPI
+		}
+		t.Addf(r.Cores, fmt.Sprintf("%.1f", r.SharedFrac),
+			r.CPI, slowdown,
+			float64(r.L1.ReadBeforeWrite)/float64(r.L1.Stores),
+			r.Coherence.Invalidations, r.Coherence.OwnerFlushes,
+			tables.Pct(r.DirtyL1))
+	}
+	return t.String() +
+		"the paper's hypothesis: invalidations remove dirty blocks, so RBW/store falls with sharing\n"
+}
+
 // Section7MulticoreCtx is Section7Multicore with cooperative
 // cancellation.
 func Section7MulticoreCtx(ctx context.Context, b Budget) (string, error) {
@@ -125,32 +176,14 @@ func Section7MulticoreCtx(ctx context.Context, b Budget) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("multicore: profile %q not found", "gzip")
 	}
-	t := tables.New("Sec. 7: timed write-invalidate coherence vs. CPPC read-before-writes",
-		"cores", "shared frac", "CPI", "slowdown", "RBW/store", "invalidations", "owner flushes", "dirty L1 avg")
-	var baseCPI float64
-	for _, cores := range []int{1, 2, 4, 8} {
-		for _, sf := range []float64{0, 0.3, 0.6} {
-			if cores == 1 && sf > 0 {
-				continue
-			}
-			r, err := MulticoreCellCtx(ctx, prof, cores, sf, b)
-			if err != nil {
-				return "", err
-			}
-			if cores == 1 && sf == 0 {
-				baseCPI = r.CPI
-			}
-			slowdown := 0.0
-			if baseCPI > 0 {
-				slowdown = r.CPI / baseCPI
-			}
-			t.Addf(cores, fmt.Sprintf("%.1f", sf),
-				r.CPI, slowdown,
-				float64(r.L1.ReadBeforeWrite)/float64(r.L1.Stores),
-				r.Coherence.Invalidations, r.Coherence.OwnerFlushes,
-				tables.Pct(r.DirtyL1))
+	pts := Section7Points()
+	runs := make([]MulticoreRun, 0, len(pts))
+	for _, pt := range pts {
+		r, err := MulticoreCellCtx(ctx, prof, pt.Cores, pt.SharedFrac, b)
+		if err != nil {
+			return "", err
 		}
+		runs = append(runs, r)
 	}
-	return t.String() +
-		"the paper's hypothesis: invalidations remove dirty blocks, so RBW/store falls with sharing\n", nil
+	return Section7Table(runs), nil
 }

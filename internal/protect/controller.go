@@ -69,13 +69,18 @@ type Controller struct {
 
 // NewController wires a cache, a scheme and a backing level together.
 func NewController(c *cache.Cache, s Scheme, next cache.Backing) *Controller {
-	return &Controller{
+	ct := &Controller{
 		C: c, Scheme: s, Next: next, sampleEvery: 256, sampleLeft: 256,
-		fillBuf:    make([]uint64, c.BlockWords()),
-		refetchBuf: make([]uint64, c.BlockWords()),
-		refetchOld: make([]uint64, c.GranuleWords()),
-		oldBuf:     make([]uint64, c.GranuleWords()),
 	}
+	// One backing array for the four scratch buffers: they are distinct
+	// regions of it, so the aliasing rules in the field comments still hold.
+	bw, gw := c.BlockWords(), c.GranuleWords()
+	scratch := make([]uint64, 2*bw+2*gw)
+	ct.fillBuf, scratch = scratch[:bw:bw], scratch[bw:]
+	ct.refetchBuf, scratch = scratch[:bw:bw], scratch[bw:]
+	ct.refetchOld, scratch = scratch[:gw:gw], scratch[gw:]
+	ct.oldBuf = scratch
+	return ct
 }
 
 // SetSampleInterval adjusts dirty-occupancy sampling (0 disables).

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"sync"
+
+	"cppc/internal/experiments"
+)
+
+// cellResult is one executed cell's typed output. Exactly one field is
+// set, matching the cell spec's kind. Cells cache the typed value rather
+// than rendered text so overlapping sweeps can re-aggregate it into
+// whatever artifact their parent job asked for.
+type cellResult struct {
+	Run       *experiments.Run            // simulate
+	Multicore *experiments.MulticoreRun   // multicore point
+	L3        *experiments.L3Run          // l3 bench
+	MC        *experiments.MonteCarloCell // montecarlo scheme
+}
+
+// cellCache is the per-cell twin of resultCache: a bounded
+// content-addressed cache of executed cell results keyed by the cell
+// spec's canonical hash. Because cells of different parents share hashes
+// (a suite cell is a simulate spec), overlapping sweeps reuse each
+// other's work through here. Eviction is FIFO by insertion, same as the
+// job-level cache.
+type cellCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]cellResult
+	order   []string
+	hits    uint64
+	misses  uint64
+}
+
+func newCellCache(max int) *cellCache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &cellCache{max: max, entries: make(map[string]cellResult)}
+}
+
+// get looks up a cell result and counts the hit or miss.
+func (c *cellCache) get(hash string) (cellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[hash]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+// put stores a cell result, evicting the oldest entry when full.
+func (c *cellCache) put(hash string, r cellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[hash]; ok {
+		c.entries[hash] = r
+		return
+	}
+	if len(c.order) == c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[hash] = r
+	c.order = append(c.order, hash)
+}
+
+// stats returns the counters for /metrics.
+func (c *cellCache) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,9 +1,6 @@
 package service
 
-import (
-	"context"
-	"time"
-)
+import "time"
 
 // State is a job's lifecycle phase.
 type State string
@@ -56,5 +53,15 @@ type Job struct {
 	Version int `json:"version"`
 
 	result *Result
-	cancel context.CancelFunc
+
+	// Shard bookkeeping, owned by the Service. plan holds the job's
+	// normalized cell specs in aggregation order; cellRes fills in as
+	// cells complete (delivered marks which). Snapshots share these
+	// slices, but callers never look at unexported fields.
+	plan      []JobSpec
+	planHash  []string
+	cellIdx   map[string]int
+	cellRes   []cellResult
+	delivered []bool
+	remaining int
 }

@@ -3,7 +3,8 @@ package service
 import "time"
 
 // Metrics is the GET /metrics payload: queue pressure, worker
-// utilization, cache effectiveness and job latency, all since startup.
+// utilization, cache effectiveness (whole jobs and individual cells),
+// shard scheduler gauges and cell latency, all since startup.
 type Metrics struct {
 	UptimeSec float64 `json:"uptime_sec"`
 
@@ -11,20 +12,32 @@ type Metrics struct {
 	BusyWorkers       int     `json:"busy_workers"`
 	WorkerUtilization float64 `json:"worker_utilization"` // busy-time fraction since start
 
-	QueueDepth    int `json:"queue_depth"`
+	QueueDepth    int `json:"queue_depth"` // jobs still queued
 	QueueCapacity int `json:"queue_capacity"`
 
-	JobsSubmitted int `json:"jobs_submitted"`
-	JobsRunning   int `json:"jobs_running"`
-	JobsCompleted int `json:"jobs_completed"`
-	JobsFailed    int `json:"jobs_failed"`
-	JobsCanceled  int `json:"jobs_canceled"`
+	JobsSubmitted int            `json:"jobs_submitted"`
+	JobsRunning   int            `json:"jobs_running"`
+	JobsCompleted int            `json:"jobs_completed"`
+	JobsFailed    int            `json:"jobs_failed"`
+	JobsCanceled  int            `json:"jobs_canceled"`
+	JobsByKind    map[string]int `json:"jobs_by_kind,omitempty"` // submissions per job kind
+
+	// Shard scheduler gauges: cells are the unit workers actually run.
+	CellsQueued    int `json:"cells_queued"`
+	CellsRunning   int `json:"cells_running"`
+	CellsCompleted int `json:"cells_completed"`
 
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CacheEntries int     `json:"cache_entries"`
 
+	CellCacheHits    uint64  `json:"cell_cache_hits"`
+	CellCacheMisses  uint64  `json:"cell_cache_misses"`
+	CellCacheHitRate float64 `json:"cell_cache_hit_rate"`
+	CellCacheEntries int     `json:"cell_cache_entries"`
+
+	// Latencies are per executed cell (cache hits excluded).
 	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms"`
 	RunMeanMs       float64 `json:"run_mean_ms"`
 	RunMaxMs        float64 `json:"run_max_ms"`
@@ -33,41 +46,61 @@ type Metrics struct {
 // Metrics snapshots the counters.
 func (s *Service) Metrics() Metrics {
 	hits, misses, entries := s.cache.stats()
+	cHits, cMisses, cEntries := s.cellCache.stats()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	uptime := time.Since(s.started)
 	m := Metrics{
-		UptimeSec:     uptime.Seconds(),
-		Workers:       s.cfg.Workers,
-		BusyWorkers:   s.busy,
-		QueueDepth:    len(s.queue),
-		QueueCapacity: s.cfg.QueueSize,
-		JobsSubmitted: s.submitted,
-		JobsRunning:   s.busy,
-		JobsCompleted: s.completed,
-		JobsFailed:    s.failed,
-		JobsCanceled:  s.canceled,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEntries:  entries,
+		UptimeSec:        uptime.Seconds(),
+		Workers:          s.cfg.Workers,
+		BusyWorkers:      s.busy,
+		QueueDepth:       s.queuedJobs,
+		QueueCapacity:    s.cfg.QueueSize,
+		JobsSubmitted:    s.submitted,
+		JobsCompleted:    s.completed,
+		JobsFailed:       s.failed,
+		JobsCanceled:     s.canceled,
+		CellsQueued:      len(s.runq),
+		CellsRunning:     s.busy,
+		CellsCompleted:   s.cellsCompleted,
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheEntries:     entries,
+		CellCacheHits:    cHits,
+		CellCacheMisses:  cMisses,
+		CellCacheEntries: cEntries,
+	}
+	if len(s.jobsByKind) > 0 {
+		m.JobsByKind = make(map[string]int, len(s.jobsByKind))
+		for k, v := range s.jobsByKind {
+			m.JobsByKind[k] = v
+		}
+	}
+	for _, j := range s.jobs {
+		if j.State == StateRunning {
+			m.JobsRunning++
+		}
 	}
 	if total := hits + misses; total > 0 {
 		m.CacheHitRate = float64(hits) / float64(total)
 	}
+	if total := cHits + cMisses; total > 0 {
+		m.CellCacheHitRate = float64(cHits) / float64(total)
+	}
 	// Count the in-flight busy time too, so utilization is honest while a
-	// long job is still running.
+	// long cell is still running.
 	busyNs := s.busyNanos
-	for _, j := range s.jobs {
-		if j.State == StateRunning && j.Started != nil {
-			busyNs += time.Since(*j.Started).Nanoseconds()
+	for _, c := range s.cells {
+		if c.running {
+			busyNs += time.Since(c.startedAt).Nanoseconds()
 		}
 	}
 	if denom := uptime.Nanoseconds() * int64(s.cfg.Workers); denom > 0 {
 		m.WorkerUtilization = float64(busyNs) / float64(denom)
 	}
-	if s.ranJobs > 0 {
-		n := float64(s.ranJobs)
+	if s.ranCells > 0 {
+		n := float64(s.ranCells)
 		m.QueueWaitMeanMs = float64(s.waitNanos) / n / 1e6
 		m.RunMeanMs = float64(s.runNanos) / n / 1e6
 		m.RunMaxMs = float64(s.runNanosMax) / 1e6

@@ -14,9 +14,10 @@ import (
 
 // Config sizes the daemon.
 type Config struct {
-	Workers   int // concurrent jobs; <= 0 means runtime.GOMAXPROCS(0)
-	QueueSize int // jobs waiting beyond the running ones; <= 0 means 64
-	CacheSize int // retained results; <= 0 means 256
+	Workers       int // concurrent cells; <= 0 means runtime.GOMAXPROCS(0)
+	QueueSize     int // jobs waiting beyond the running ones; <= 0 means 64
+	CacheSize     int // retained job results; <= 0 means 256
+	CellCacheSize int // retained cell results; <= 0 means 1024
 }
 
 // Errors surfaced to the HTTP layer.
@@ -26,32 +27,57 @@ var (
 	ErrClosed    = errors.New("service is shutting down")
 )
 
-// Service owns the job table, the FIFO queue, the worker pool and the
-// result cache. One mutex guards the job table and every Job's fields;
-// snapshots returned to callers are copies.
+// cellJob is one schedulable cell: the shared unit of work that one or
+// more parent jobs are waiting on. Cells are deduplicated by hash — a
+// suite and a standalone simulate of the same benchmark, or two sweeps
+// sharing a point, ride the same cellJob.
+type cellJob struct {
+	hash     string
+	spec     JobSpec
+	enqueued time.Time
+	parents  []*Job // jobs awaiting this cell; empty means orphaned
+
+	running   bool
+	startedAt time.Time
+	cancel    context.CancelFunc
+}
+
+// Service owns the job table, the cell run queue, the worker pool and
+// the two result caches (whole jobs and individual cells). Every
+// submitted job is planned into cells; workers pull cells, not jobs, so
+// one sweep fans out across the whole pool. One mutex guards the job
+// table, the scheduler state and every Job's fields; snapshots returned
+// to callers are copies.
 type Service struct {
-	cfg   Config
-	cache *resultCache
+	cfg       Config
+	cache     *resultCache
+	cellCache *cellCache
 
 	mu     sync.Mutex
+	cond   *sync.Cond // signaled when runq grows or the service closes
 	jobs   map[string]*Job
-	order  []string // submission order, for listing
-	queue  chan *Job
+	order  []string            // submission order, for listing
+	cells  map[string]*cellJob // queued or running cells, by hash
+	runq   []*cellJob          // FIFO of cells awaiting a worker
 	closed bool
 	nextID int
 
-	started   time.Time
-	busy      int   // workers currently running a job
-	busyNanos int64 // cumulative busy time across finished jobs
+	queuedJobs int // jobs still in StateQueued, bounded by cfg.QueueSize
 
-	// Latency aggregates over jobs that actually ran (cache hits are
-	// excluded: they are free by construction).
-	waitNanos   int64 // submit -> start
-	runNanos    int64 // start -> finish
+	started   time.Time
+	busy      int   // workers currently running a cell
+	busyNanos int64 // cumulative busy time across finished cells
+
+	// Latency aggregates over cells that actually executed (cache hits
+	// are excluded: they are free by construction).
+	waitNanos   int64 // cell enqueue -> start
+	runNanos    int64 // cell start -> finish
 	runNanosMax int64
-	ranJobs     int
+	ranCells    int
 
 	submitted, completed, failed, canceled int
+	jobsByKind                             map[string]int
+	cellsCompleted                         int
 
 	wg sync.WaitGroup
 }
@@ -65,12 +91,15 @@ func New(cfg Config) *Service {
 		cfg.QueueSize = 64
 	}
 	s := &Service{
-		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheSize),
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueSize),
-		started: time.Now(),
+		cfg:        cfg,
+		cache:      newResultCache(cfg.CacheSize),
+		cellCache:  newCellCache(cfg.CellCacheSize),
+		jobs:       make(map[string]*Job),
+		cells:      make(map[string]*cellJob),
+		jobsByKind: make(map[string]int),
+		started:    time.Now(),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -78,15 +107,18 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Submit validates and enqueues a job. A spec whose canonical hash is
-// already cached completes immediately (CacheHit set) without touching
-// the queue.
+// Submit validates a job, plans it into cells and schedules the cells
+// that are not already cached or in flight. A spec whose canonical hash
+// is already in the job cache — or whose every cell is in the cell
+// cache — completes immediately (CacheHit set) without touching the
+// queue.
 func (s *Service) Submit(spec JobSpec) (Job, error) {
 	norm, err := spec.normalize()
 	if err != nil {
 		return Job{}, err
 	}
 	hash := norm.hash()
+	plan := planCells(norm)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -111,25 +143,78 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		job.Started, job.Finished = &now, &now
 		job.Version++
 		s.register(job)
-		s.submitted++
 		s.completed++
 		return *job, nil
 	}
 
-	select {
-	case s.queue <- job:
-	default:
+	job.plan = plan
+	job.planHash = make([]string, len(plan))
+	job.cellIdx = make(map[string]int, len(plan))
+	job.cellRes = make([]cellResult, len(plan))
+	job.delivered = make([]bool, len(plan))
+	job.remaining = len(plan)
+	job.Progress = Progress{Done: 0, Total: len(plan)}
+
+	var missing []int
+	for i, c := range plan {
+		h := c.hash()
+		job.planHash[i] = h
+		job.cellIdx[h] = i
+		if res, ok := s.cellCache.get(h); ok {
+			job.cellRes[i] = res
+			job.delivered[i] = true
+			job.remaining--
+			job.Progress.Done++
+		} else {
+			missing = append(missing, i)
+		}
+	}
+
+	if job.remaining == 0 {
+		// Every cell was computed before under some other parent:
+		// assemble the report synchronously — the whole job is a cache
+		// hit even though this exact spec never ran.
+		res, err := aggregate(norm, job.cellRes)
+		if err != nil {
+			return Job{}, err
+		}
+		job.State = StateDone
+		job.CacheHit = true
+		job.result = res
+		job.Started, job.Finished = &now, &now
+		job.Version++
+		s.cache.put(hash, res)
+		s.register(job)
+		s.completed++
+		return *job, nil
+	}
+
+	if s.queuedJobs >= s.cfg.QueueSize {
 		return Job{}, ErrQueueFull
 	}
+	for _, i := range missing {
+		h := job.planHash[i]
+		if c, ok := s.cells[h]; ok {
+			c.parents = append(c.parents, job) // single-flight: join the in-flight cell
+			continue
+		}
+		c := &cellJob{hash: h, spec: plan[i], enqueued: now, parents: []*Job{job}}
+		s.cells[h] = c
+		s.runq = append(s.runq, c)
+	}
+	s.cond.Broadcast()
 	s.register(job)
-	s.submitted++
+	s.queuedJobs++
 	return *job, nil
 }
 
-// register must run under s.mu.
+// register must run under s.mu. It indexes the job and counts the
+// submission.
 func (s *Service) register(job *Job) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	s.submitted++
+	s.jobsByKind[job.Spec.Kind]++
 }
 
 // Job returns a snapshot of one job.
@@ -165,8 +250,11 @@ func (s *Service) Jobs() []Job {
 	return out
 }
 
-// Cancel cancels a queued or running job. Terminal jobs are left alone
-// (the returned snapshot tells the caller which case they hit).
+// Cancel cancels a queued or running job: the job is detached from its
+// cells, any cell it was the last parent of is canceled (running) or
+// dropped (queued), and cells other jobs still wait on keep running.
+// Terminal jobs are left alone (the returned snapshot tells the caller
+// which case they hit).
 func (s *Service) Cancel(id string) (Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,31 +262,64 @@ func (s *Service) Cancel(id string) (Job, error) {
 	if !ok {
 		return Job{}, ErrNotFound
 	}
+	now := time.Now()
 	switch j.State {
 	case StateQueued:
-		// The job stays in the channel; the worker that drains it sees
-		// the terminal state and skips it.
-		now := time.Now()
-		j.State = StateCanceled
-		j.Error = "canceled before start"
-		j.Finished = &now
-		j.Version++
-		s.canceled++
+		s.finishCanceledLocked(j, "canceled before start", now)
 	case StateRunning:
-		j.cancel() // the worker observes ctx and finishes the transition
+		s.finishCanceledLocked(j, "canceled", now)
 	}
 	return *j, nil
 }
 
-// Shutdown stops accepting submissions and drains the queue: every
+// finishCanceledLocked moves a non-terminal job to StateCanceled and
+// releases its cells. Must run under s.mu.
+func (s *Service) finishCanceledLocked(j *Job, reason string, now time.Time) {
+	s.detachLocked(j)
+	if j.State == StateQueued {
+		s.queuedJobs--
+	}
+	j.State = StateCanceled
+	j.Error = reason
+	j.Finished = &now
+	j.Version++
+	s.canceled++
+}
+
+// detachLocked removes the job from every cell it is still waiting on.
+// A running cell with no parents left is canceled; a queued one stays in
+// the run queue and is discarded when a worker pops it. Must run under
+// s.mu.
+func (s *Service) detachLocked(j *Job) {
+	for i, h := range j.planHash {
+		if j.delivered[i] {
+			continue
+		}
+		c, ok := s.cells[h]
+		if !ok {
+			continue
+		}
+		for k, p := range c.parents {
+			if p == j {
+				c.parents = append(c.parents[:k], c.parents[k+1:]...)
+				break
+			}
+		}
+		if len(c.parents) == 0 && c.running && c.cancel != nil {
+			c.cancel()
+		}
+	}
+}
+
+// Shutdown stops accepting submissions and drains the run queue: every
 // accepted job still runs to completion. When ctx expires first, the
-// remaining running jobs are canceled and Shutdown returns ctx's error
-// after the workers exit.
+// remaining jobs are canceled (in-flight cells via their contexts) and
+// Shutdown returns ctx's error after the workers exit.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 
@@ -212,97 +333,204 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
+		now := time.Now()
 		for _, j := range s.jobs {
-			if j.State == StateRunning && j.cancel != nil {
-				j.cancel()
+			if !j.State.terminal() {
+				s.finishCanceledLocked(j, "canceled", now)
 			}
 		}
+		s.cond.Broadcast()
 		s.mu.Unlock()
 		<-done
 		return ctx.Err()
 	}
 }
 
-// worker drains the FIFO queue until shutdown closes it.
+// worker pulls cells off the run queue until shutdown drains it. The
+// loop body runs under s.mu except for the cell execution itself.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for job := range s.queue {
-		s.runJob(job)
+	s.mu.Lock()
+	for {
+		for len(s.runq) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.runq) == 0 { // closed and drained
+			s.mu.Unlock()
+			return
+		}
+		c := s.runq[0]
+		s.runq = s.runq[1:]
+		if len(c.parents) == 0 { // orphaned while queued
+			delete(s.cells, c.hash)
+			continue
+		}
+
+		start := time.Now()
+		ctx, cancel := context.WithCancel(context.Background())
+		c.cancel = cancel
+		c.running = true
+		c.startedAt = start
+		for _, p := range c.parents {
+			s.markRunningLocked(p, start)
+		}
+		s.busy++
+		s.waitNanos += start.Sub(c.enqueued).Nanoseconds()
+		s.mu.Unlock()
+
+		res, err := executeCell(ctx, c.spec)
+		cancel()
+
+		s.mu.Lock()
+		end := time.Now()
+		runNs := end.Sub(start).Nanoseconds()
+		s.busy--
+		s.busyNanos += runNs
+		s.runNanos += runNs
+		if runNs > s.runNanosMax {
+			s.runNanosMax = runNs
+		}
+		s.ranCells++
+		delete(s.cells, c.hash)
+		if err == nil {
+			s.cellCache.put(c.hash, res)
+			s.cellsCompleted++
+			for _, p := range c.parents {
+				s.deliverLocked(p, c.hash, res, end)
+			}
+		} else {
+			canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+			for _, p := range c.parents {
+				s.failLocked(p, err, canceled, end)
+			}
+		}
 	}
 }
 
-func (s *Service) runJob(job *Job) {
-	s.mu.Lock()
-	if job.State != StateQueued { // canceled while waiting
-		s.mu.Unlock()
+// markRunningLocked moves a queued parent to StateRunning when its first
+// cell starts. Must run under s.mu.
+func (s *Service) markRunningLocked(p *Job, now time.Time) {
+	if p.State != StateQueued {
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	now := time.Now()
-	job.cancel = cancel
-	job.State = StateRunning
-	job.Started = &now
-	job.Version++
-	s.busy++
-	s.mu.Unlock()
+	t := now
+	p.State = StateRunning
+	p.Started = &t
+	p.Version++
+	s.queuedJobs--
+}
 
-	res, err := s.execute(ctx, job)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	end := time.Now()
-	runNs := end.Sub(*job.Started).Nanoseconds()
-	s.busy--
-	s.busyNanos += runNs
-	s.waitNanos += job.Started.Sub(job.Submitted).Nanoseconds()
-	s.runNanos += runNs
-	if runNs > s.runNanosMax {
-		s.runNanosMax = runNs
+// deliverLocked hands one completed cell to a parent; the parent's
+// progress derives from its cells. The last delivery aggregates the
+// cells into the job's report. Must run under s.mu.
+func (s *Service) deliverLocked(p *Job, hash string, res cellResult, end time.Time) {
+	if p.State.terminal() {
+		return
 	}
-	s.ranJobs++
-	job.Finished = &end
-	job.Version++
-	switch {
-	case err == nil:
-		job.State = StateDone
-		job.result = res
-		s.cache.put(job.Hash, res)
-		s.completed++
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		job.State = StateCanceled
-		job.Error = "canceled"
-		s.canceled++
-	default:
-		job.State = StateFailed
-		job.Error = err.Error()
+	idx, ok := p.cellIdx[hash]
+	if !ok || p.delivered[idx] {
+		return
+	}
+	p.cellRes[idx] = res
+	p.delivered[idx] = true
+	p.remaining--
+	p.Progress.Done++
+	p.Version++
+	if p.remaining > 0 {
+		return
+	}
+	agg, err := aggregate(p.Spec, p.cellRes)
+	t := end
+	p.Finished = &t
+	p.Version++
+	if err != nil {
+		p.State = StateFailed
+		p.Error = err.Error()
 		s.failed++
+		return
+	}
+	if p.Started != nil {
+		agg.ElapsedMs = end.Sub(*p.Started).Milliseconds()
+	}
+	p.State = StateDone
+	p.result = agg
+	s.cache.put(p.Hash, agg)
+	s.completed++
+}
+
+// failLocked fails (or cancels) a parent whose cell errored and releases
+// its remaining cells. Must run under s.mu.
+func (s *Service) failLocked(p *Job, err error, canceled bool, end time.Time) {
+	if p.State.terminal() {
+		return
+	}
+	if canceled {
+		s.finishCanceledLocked(p, "canceled", end)
+		return
+	}
+	s.detachLocked(p)
+	if p.State == StateQueued {
+		s.queuedJobs--
+	}
+	t := end
+	p.State = StateFailed
+	p.Error = err.Error()
+	p.Finished = &t
+	p.Version++
+	s.failed++
+}
+
+// executeCell runs one cell's simulation under its cancellation context.
+// Cell specs are normalized, so lookups cannot fail here.
+func executeCell(ctx context.Context, spec JobSpec) (cellResult, error) {
+	switch spec.Kind {
+	case KindSimulate:
+		prof, _ := trace.ProfileByName(spec.Bench)
+		id, _ := parseScheme(spec.Scheme)
+		run, err := experiments.SimulateCtx(ctx, prof, id, spec.budget())
+		if err != nil {
+			return cellResult{}, err
+		}
+		return cellResult{Run: &run}, nil
+	case KindMulticore:
+		prof, _ := trace.ProfileByName(spec.Bench)
+		run, err := experiments.MulticoreCellCtx(ctx, prof, spec.Cores, spec.SharedFrac, spec.budget())
+		if err != nil {
+			return cellResult{}, err
+		}
+		return cellResult{Multicore: &run}, nil
+	case KindL3:
+		prof, _ := trace.ProfileByName(spec.Bench)
+		run, err := experiments.L3Cell(ctx, prof, spec.budget())
+		if err != nil {
+			return cellResult{}, err
+		}
+		return cellResult{L3: &run}, nil
+	case KindMonteCarlo:
+		cell, err := experiments.MonteCarloCellCtx(ctx, spec.Scheme, spec.Trials, spec.Seed)
+		if err != nil {
+			return cellResult{}, err
+		}
+		return cellResult{MC: &cell}, nil
+	default:
+		return cellResult{}, fmt.Errorf("job kind %q is not a cell", spec.Kind) // unreachable after planCells
 	}
 }
 
-// setProgress publishes a progress update.
-func (s *Service) setProgress(job *Job, done, total int) {
-	s.mu.Lock()
-	job.Progress = Progress{Done: done, Total: total}
-	job.Version++
-	s.mu.Unlock()
-}
-
-// execute runs one job's work under its cancellation context.
-func (s *Service) execute(ctx context.Context, job *Job) (*Result, error) {
-	start := time.Now()
-	spec := job.Spec
+// aggregate assembles a job's report from its completed cells (in plan
+// order). The rendered artifacts are byte-identical to the sequential
+// in-process sweeps', because both paths go through the same experiments
+// renderers.
+func aggregate(spec JobSpec, cells []cellResult) (*Result, error) {
 	res := &Result{Kind: spec.Kind, Artifacts: map[string]string{}}
-
-	switch spec.Kind {
-	case KindSuite:
-		s.setProgress(job, 0, len(trace.Profiles())*4)
-		suite, err := experiments.RunSuiteCtx(ctx, spec.budget(), experiments.SuiteOptions{
-			Parallel:   spec.Parallel,
-			OnProgress: func(done, total int) { s.setProgress(job, done, total) },
-		})
-		if err != nil {
-			return nil, err
+	switch {
+	case spec.Kind == KindSuite:
+		suite := experiments.NewSuite(spec.budget())
+		for i, c := range cells {
+			if c.Run == nil {
+				return nil, fmt.Errorf("suite cell %d missing its run", i)
+			}
+			suite.Add(*c.Run)
 		}
 		want := spec.Figures
 		if len(want) == 0 {
@@ -322,15 +550,11 @@ func (s *Service) execute(ctx context.Context, job *Job) (*Result, error) {
 				res.Artifacts[f] = suite.Table3()
 			}
 		}
-	case KindSimulate:
-		prof, _ := trace.ProfileByName(spec.Bench)
-		id, _ := parseScheme(spec.Scheme) // both validated by normalize
-		s.setProgress(job, 0, 1)
-		run, err := experiments.SimulateCtx(ctx, prof, id, spec.budget())
-		if err != nil {
-			return nil, err
+	case spec.Kind == KindSimulate:
+		run := cells[0].Run
+		if run == nil {
+			return nil, fmt.Errorf("simulate cell missing its run")
 		}
-		s.setProgress(job, 1, 1)
 		res.Values = map[string]float64{
 			"cpi":            run.CPI,
 			"l1_misses":      float64(run.L1.Misses),
@@ -345,22 +569,29 @@ func (s *Service) execute(ctx context.Context, job *Job) (*Result, error) {
 		res.Artifacts["summary"] = fmt.Sprintf("%s/%s: CPI %.4f (L1 %d/%d misses, L2 %d/%d)\n",
 			run.Bench, run.Scheme, run.CPI,
 			run.L1.Misses, run.L1.Accesses(), run.L2.Misses, run.L2.Accesses())
-	case KindMonteCarlo:
-		s.setProgress(job, 0, 1)
-		out, err := experiments.MonteCarloValidationCtx(ctx, spec.Trials, spec.Seed)
-		if err != nil {
-			return nil, err
+	case spec.Kind == KindMonteCarlo:
+		mcs := make([]experiments.MonteCarloCell, 0, len(cells))
+		for i, c := range cells {
+			if c.MC == nil {
+				return nil, fmt.Errorf("montecarlo cell %d missing its campaign", i)
+			}
+			mcs = append(mcs, *c.MC)
 		}
-		s.setProgress(job, 1, 1)
-		res.Artifacts["montecarlo"] = out
-	case KindMulticore:
-		prof, _ := trace.ProfileByName(spec.Bench) // validated by normalize
-		s.setProgress(job, 0, 1)
-		run, err := experiments.MulticoreCellCtx(ctx, prof, spec.Cores, spec.SharedFrac, spec.budget())
-		if err != nil {
-			return nil, err
+		res.Artifacts["montecarlo"] = experiments.MonteCarloTable(spec.Trials, mcs)
+	case spec.Kind == KindMulticore && spec.Sweep:
+		runs := make([]experiments.MulticoreRun, 0, len(cells))
+		for i, c := range cells {
+			if c.Multicore == nil {
+				return nil, fmt.Errorf("multicore cell %d missing its run", i)
+			}
+			runs = append(runs, *c.Multicore)
 		}
-		s.setProgress(job, 1, 1)
+		res.Artifacts["sec7"] = experiments.Section7Table(runs)
+	case spec.Kind == KindMulticore:
+		run := cells[0].Multicore
+		if run == nil {
+			return nil, fmt.Errorf("multicore cell missing its run")
+		}
 		rbwPerStore := 0.0
 		if run.L1.Stores > 0 {
 			rbwPerStore = float64(run.L1.ReadBeforeWrite) / float64(run.L1.Stores)
@@ -381,14 +612,20 @@ func (s *Service) execute(ctx context.Context, job *Job) (*Result, error) {
 			"%s x%d cores (shared %.2f): CPI %.4f over %d cycles; RBW/store %.4f, %d invalidations, %d owner flushes\n",
 			run.Bench, run.Cores, run.SharedFrac, run.CPI, run.Cycles,
 			rbwPerStore, run.Coherence.Invalidations, run.Coherence.OwnerFlushes)
-	case KindL3:
-		prof, _ := trace.ProfileByName(spec.Bench) // validated by normalize
-		s.setProgress(job, 0, 1)
-		run, err := experiments.L3Cell(ctx, prof, spec.budget())
-		if err != nil {
-			return nil, err
+	case spec.Kind == KindL3 && spec.Sweep:
+		runs := make([]experiments.L3Run, 0, len(cells))
+		for i, c := range cells {
+			if c.L3 == nil {
+				return nil, fmt.Errorf("l3 cell %d missing its run", i)
+			}
+			runs = append(runs, *c.L3)
 		}
-		s.setProgress(job, 1, 1)
+		res.Artifacts["l3"] = experiments.L3Table(runs)
+	case spec.Kind == KindL3:
+		run := cells[0].L3
+		if run == nil {
+			return nil, fmt.Errorf("l3 cell missing its run")
+		}
 		res.Values = map[string]float64{
 			"cpi_parity":       run.ParityCPI,
 			"cpi_cppc_l3":      run.CPPCL3CPI,
@@ -406,7 +643,5 @@ func (s *Service) execute(ctx context.Context, job *Job) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("unknown job kind %q", spec.Kind) // unreachable after normalize
 	}
-
-	res.ElapsedMs = time.Since(start).Milliseconds()
 	return res, nil
 }

@@ -1,0 +1,266 @@
+package service_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"cppc/internal/experiments"
+	"cppc/internal/service"
+)
+
+// --- Direct-API helpers -------------------------------------------------
+
+func submitSpec(t *testing.T, s *service.Service, spec service.JobSpec) service.Job {
+	t.Helper()
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit %+v: %v", spec, err)
+	}
+	return job
+}
+
+func waitJob(t *testing.T, s *service.Service, id string, want func(service.Job) bool, timeout time.Duration) service.Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		job, err := s.Job(id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if want(job) {
+			return job
+		}
+		if job.State == service.StateFailed {
+			t.Fatalf("job %s failed: %s", id, job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s (progress %d/%d)",
+				id, job.State, job.Progress.Done, job.Progress.Total)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func jobDone(j service.Job) bool { return j.State == service.StateDone }
+
+func shutdown(t *testing.T, s *service.Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// tinyBudget keeps per-cell work to a few milliseconds so sweeps finish
+// fast even on one worker.
+const tinyWarmup, tinyMeasure = 2000, 5000
+
+// --- Shard semantics ----------------------------------------------------
+
+// TestOverlappingSweepsShareCells submits a standalone simulate job and
+// then the full suite: the suite must reuse the simulate job's cell from
+// the cell cache (they hash to the same cell spec). A multicore point
+// job submitted after a multicore sweep must then complete entirely from
+// cache, without executing anything.
+func TestOverlappingSweepsShareCells(t *testing.T) {
+	s := service.New(service.Config{Workers: 4})
+	defer shutdown(t, s)
+
+	sim := submitSpec(t, s, service.JobSpec{
+		Kind: "simulate", Bench: "gzip", Scheme: "cppc", Warmup: tinyWarmup, Measure: tinyMeasure,
+	})
+	waitJob(t, s, sim.ID, jobDone, 30*time.Second)
+	if hits := s.Metrics().CellCacheHits; hits != 0 {
+		t.Fatalf("unexpected cell cache hits before any overlap: %d", hits)
+	}
+
+	suite := submitSpec(t, s, service.JobSpec{
+		Kind: "suite", Warmup: tinyWarmup, Measure: tinyMeasure,
+	})
+	done := waitJob(t, s, suite.ID, jobDone, 120*time.Second)
+	if done.Progress.Total != 60 || done.Progress.Done != 60 {
+		t.Fatalf("suite progress = %d/%d, want 60/60", done.Progress.Done, done.Progress.Total)
+	}
+	m := s.Metrics()
+	if m.CellCacheHits == 0 {
+		t.Fatalf("suite did not reuse the simulate job's cached cell: %+v", m)
+	}
+	if m.CellsCompleted != 1+59 { // simulate cell + the 59 suite cells it didn't cover
+		t.Fatalf("cells executed = %d, want 60", m.CellsCompleted)
+	}
+
+	// A sweep primes every one of its points for later point jobs.
+	sweep := submitSpec(t, s, service.JobSpec{
+		Kind: "multicore", Sweep: true, Warmup: tinyWarmup, Measure: tinyMeasure,
+	})
+	waitJob(t, s, sweep.ID, jobDone, 60*time.Second)
+	executed := s.Metrics().CellsCompleted
+
+	point := submitSpec(t, s, service.JobSpec{
+		Kind: "multicore", Cores: 8, SharedFrac: 0.6, Warmup: tinyWarmup, Measure: tinyMeasure,
+	})
+	if !point.CacheHit || point.State != service.StateDone {
+		t.Fatalf("sweep-covered point job = %+v, want synchronous cache-hit completion", point)
+	}
+	if got := s.Metrics().CellsCompleted; got != executed {
+		t.Fatalf("point job executed %d extra cells, want 0", got-executed)
+	}
+	_, res, err := s.JobResult(point.ID)
+	if err != nil || res == nil || res.Artifacts["summary"] == "" {
+		t.Fatalf("point job result = %+v, %v", res, err)
+	}
+}
+
+// TestCancelParentCancelsCells cancels a running sweep and requires its
+// in-flight cell to stop and its queued cells to be discarded — but a
+// cell another job still waits on must survive the cancellation.
+func TestCancelParentCancelsCells(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	defer shutdown(t, s)
+
+	// Default-budget L3 cells run for seconds each: plenty of time to
+	// cancel while the first is in flight and three are queued.
+	sweep := submitSpec(t, s, service.JobSpec{Kind: "l3", Sweep: true})
+	waitJob(t, s, sweep.ID, func(j service.Job) bool { return j.State == service.StateRunning }, 30*time.Second)
+
+	snap, err := s.Cancel(sweep.ID)
+	if err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if snap.State != service.StateCanceled || snap.Error == "" {
+		t.Fatalf("canceled sweep snapshot = %+v", snap)
+	}
+
+	// The orphaned running cell observes its context and the queued cells
+	// drain without executing.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		m := s.Metrics()
+		if m.CellsRunning == 0 && m.CellsQueued == 0 {
+			if m.CellsCompleted != 0 {
+				t.Fatalf("canceled sweep still completed %d cells", m.CellsCompleted)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cells did not drain after cancel: %+v", m)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Two identical sweeps ride the same cells (single-flight): canceling
+	// one must not take the survivor's cells down with it.
+	spec := service.JobSpec{Kind: "multicore", Sweep: true, Warmup: tinyWarmup, Measure: tinyMeasure}
+	a := submitSpec(t, s, spec)
+	b := submitSpec(t, s, spec)
+	if b.Hash != a.Hash {
+		t.Fatalf("identical sweeps hash differently: %s vs %s", a.Hash, b.Hash)
+	}
+	if _, err := s.Cancel(a.ID); err != nil {
+		t.Fatalf("cancel shared sweep: %v", err)
+	}
+	done := waitJob(t, s, b.ID, jobDone, 60*time.Second)
+	if done.Progress.Done != done.Progress.Total {
+		t.Fatalf("surviving sweep progress = %d/%d", done.Progress.Done, done.Progress.Total)
+	}
+	if _, res, err := s.JobResult(b.ID); err != nil || res == nil || res.Artifacts["sec7"] == "" {
+		t.Fatalf("surviving sweep result = %+v, %v", res, err)
+	}
+}
+
+// TestShardedSuiteByteIdentical requires the sharded suite — on one
+// worker and on eight — to render byte-identical artifacts to the
+// sequential in-process suite.
+func TestShardedSuiteByteIdentical(t *testing.T) {
+	budget := experiments.Budget{Warmup: tinyWarmup, Measure: tinyMeasure, Seed: 1}
+	seq, err := experiments.RunSuiteCtx(context.Background(), budget, experiments.SuiteOptions{})
+	if err != nil {
+		t.Fatalf("sequential suite: %v", err)
+	}
+	want := map[string]string{
+		"fig10":  seq.Figure10(),
+		"fig11":  seq.Figure11(),
+		"fig12":  seq.Figure12(),
+		"table2": seq.Table2String(),
+		"table3": seq.Table3(),
+	}
+
+	for _, workers := range []int{1, 8} {
+		s := service.New(service.Config{Workers: workers})
+		job := submitSpec(t, s, service.JobSpec{Kind: "suite", Warmup: tinyWarmup, Measure: tinyMeasure})
+		waitJob(t, s, job.ID, jobDone, 120*time.Second)
+		_, res, err := s.JobResult(job.ID)
+		if err != nil || res == nil {
+			t.Fatalf("suite result on %d workers: %+v, %v", workers, res, err)
+		}
+		for name, text := range want {
+			if res.Artifacts[name] != text {
+				t.Fatalf("artifact %q on %d workers diverges from the sequential suite", name, workers)
+			}
+		}
+		shutdown(t, s)
+	}
+}
+
+// TestShardedSuiteSpeedup measures the tentpole win: the same suite on
+// eight workers must run at least 3x faster than on one. The cells need
+// real parallel hardware, so the test is skipped on small machines (the
+// byte-identical and sharing tests above run everywhere).
+func TestShardedSuiteSpeedup(t *testing.T) {
+	if p := runtime.GOMAXPROCS(0); p < 8 {
+		t.Skipf("need 8 CPUs for the speedup bound, have %d", p)
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(workers int) time.Duration {
+		s := service.New(service.Config{Workers: workers})
+		defer shutdown(t, s)
+		start := time.Now()
+		job := submitSpec(t, s, service.JobSpec{Kind: "suite", Budget: "quick"})
+		waitJob(t, s, job.ID, jobDone, 10*time.Minute)
+		return time.Since(start)
+	}
+	wall1 := run(1)
+	wall8 := run(8)
+	t.Logf("suite wall-clock: 1 worker %v, 8 workers %v (%.2fx)", wall1, wall8, wall1.Seconds()/wall8.Seconds())
+	if wall8*3 > wall1 {
+		t.Fatalf("8-worker suite only %.2fx faster than 1-worker (want >= 3x)", wall1.Seconds()/wall8.Seconds())
+	}
+}
+
+// TestSweepSpecNormalization pins the sweep spec surface: sweep applies
+// to multicore and l3 only, takes no per-point fields, and montecarlo
+// accepts its per-scheme cell form.
+func TestSweepSpecNormalization(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	defer shutdown(t, s)
+
+	bad := []service.JobSpec{
+		{Kind: "suite", Sweep: true},
+		{Kind: "simulate", Bench: "gzip", Scheme: "cppc", Sweep: true},
+		{Kind: "multicore", Sweep: true, Cores: 4},
+		{Kind: "multicore", Sweep: true, SharedFrac: 0.3},
+		{Kind: "l3", Sweep: true, Bench: "mcf"},
+		{Kind: "montecarlo", Scheme: "secded"},
+	}
+	for _, spec := range bad {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("spec %+v accepted, want rejection", spec)
+		}
+	}
+
+	mc := submitSpec(t, s, service.JobSpec{Kind: "montecarlo", Scheme: "cppc", Trials: 2})
+	done := waitJob(t, s, mc.ID, jobDone, 60*time.Second)
+	if done.Progress.Total != 1 {
+		t.Fatalf("single-scheme campaign plans %d cells, want 1", done.Progress.Total)
+	}
+	full := submitSpec(t, s, service.JobSpec{Kind: "montecarlo", Trials: 2})
+	waitJob(t, s, full.ID, jobDone, 60*time.Second)
+	if m := s.Metrics(); m.CellCacheHits == 0 {
+		t.Fatalf("full campaign did not reuse the single-scheme cell: %+v", m)
+	}
+}

@@ -54,6 +54,12 @@ type JobSpec struct {
 	Cores      int     `json:"cores,omitempty"`
 	SharedFrac float64 `json:"shared_frac,omitempty"`
 
+	// Sweep turns a multicore or l3 job into the full Sec. 7 sweep: the
+	// canonical (cores, shared_frac) matrix over Bench for multicore, the
+	// fixed large-footprint benchmark set for l3. Sweep jobs shard into
+	// per-cell sub-jobs scheduled across the whole worker pool.
+	Sweep bool `json:"sweep,omitempty"`
+
 	// Figures restricts which suite artifacts are rendered (subset of
 	// fig10 fig11 fig12 table2 table3); empty means all of them.
 	Figures []string `json:"figures,omitempty"`
@@ -110,6 +116,10 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		n.Parallel = 0
 	}
 
+	if n.Sweep && n.Kind != KindMulticore && n.Kind != KindL3 {
+		return n, fmt.Errorf("sweep applies to %s and %s jobs only", KindMulticore, KindL3)
+	}
+
 	switch n.Kind {
 	case KindSuite:
 		if n.Bench != "" || n.Scheme != "" {
@@ -148,8 +158,20 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		n.Trials = 0
 		n.Figures = nil
 	case KindMonteCarlo:
-		if n.Bench != "" || n.Scheme != "" {
-			return n, fmt.Errorf("montecarlo jobs take no bench/scheme")
+		if n.Bench != "" {
+			return n, fmt.Errorf("montecarlo jobs take no bench")
+		}
+		if n.Scheme != "" {
+			// A single-scheme campaign: the cell form the full validation
+			// shards into, also addressable directly.
+			known := false
+			for _, sch := range experiments.MonteCarloSchemes() {
+				known = known || sch == n.Scheme
+			}
+			if !known {
+				return n, fmt.Errorf("unknown montecarlo scheme %q (want one of %v)",
+					n.Scheme, experiments.MonteCarloSchemes())
+			}
 		}
 		if n.Trials <= 0 {
 			n.Trials = 20
@@ -166,14 +188,22 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		if _, ok := trace.ProfileByName(n.Bench); !ok {
 			return n, fmt.Errorf("unknown benchmark %q", n.Bench)
 		}
-		if n.Cores == 0 {
-			n.Cores = 4
-		}
-		if n.Cores < 1 || n.Cores > 32 {
-			return n, fmt.Errorf("cores must be in [1,32], got %d", n.Cores)
-		}
-		if n.SharedFrac < 0 || n.SharedFrac > 1 {
-			return n, fmt.Errorf("shared_frac must be in [0,1], got %v", n.SharedFrac)
+		if n.Sweep {
+			// The sweep's matrix is canonical (Section7Points); per-point
+			// fields would be ambiguous.
+			if n.Cores != 0 || n.SharedFrac != 0 {
+				return n, fmt.Errorf("multicore sweep jobs take no cores/shared_frac (the Sec. 7 matrix is fixed)")
+			}
+		} else {
+			if n.Cores == 0 {
+				n.Cores = 4
+			}
+			if n.Cores < 1 || n.Cores > 32 {
+				return n, fmt.Errorf("cores must be in [1,32], got %d", n.Cores)
+			}
+			if n.SharedFrac < 0 || n.SharedFrac > 1 {
+				return n, fmt.Errorf("shared_frac must be in [0,1], got %v", n.SharedFrac)
+			}
 		}
 		n.Trials = 0
 		n.Figures = nil
@@ -181,11 +211,17 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		if n.Scheme != "" {
 			return n, fmt.Errorf("l3 jobs take no scheme (parity vs. CPPC placement is the experiment)")
 		}
-		if n.Bench == "" {
+		if n.Sweep {
+			if n.Bench != "" {
+				return n, fmt.Errorf("l3 sweep jobs take no bench (the large-footprint set is fixed)")
+			}
+		} else if n.Bench == "" {
 			n.Bench = "mcf"
 		}
-		if _, ok := trace.ProfileByName(n.Bench); !ok {
-			return n, fmt.Errorf("unknown benchmark %q", n.Bench)
+		if !n.Sweep {
+			if _, ok := trace.ProfileByName(n.Bench); !ok {
+				return n, fmt.Errorf("unknown benchmark %q", n.Bench)
+			}
 		}
 		n.Trials = 0
 		n.Figures = nil
@@ -194,6 +230,62 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		n.Cores, n.SharedFrac = 0, 0
 	}
 	return n, nil
+}
+
+// planCells expands a normalized spec into its canonical cell specs, in
+// aggregation order. Single-cell kinds plan into themselves, so a sweep's
+// cells share cache entries with directly-submitted cell jobs — a suite
+// and a simulate of one benchmark, or two multicore sweeps sharing core
+// counts, reuse each other's work. Every returned spec is normalized
+// (planning a cell spec yields itself).
+func planCells(n JobSpec) []JobSpec {
+	cell := func(c JobSpec) JobSpec {
+		norm, err := c.normalize()
+		if err != nil {
+			panic("service: planned cell does not normalize: " + err.Error()) // internal invariant
+		}
+		return norm
+	}
+	base := JobSpec{Budget: n.Budget, Warmup: n.Warmup, Measure: n.Measure, Seed: n.Seed}
+	switch {
+	case n.Kind == KindSuite:
+		cells := make([]JobSpec, 0, len(experiments.SuiteCells()))
+		for _, sc := range experiments.SuiteCells() {
+			c := base
+			c.Kind, c.Bench, c.Scheme = KindSimulate, sc.Bench, sc.Scheme.String()
+			cells = append(cells, cell(c))
+		}
+		return cells
+	case n.Kind == KindMulticore && n.Sweep:
+		pts := experiments.Section7Points()
+		cells := make([]JobSpec, 0, len(pts))
+		for _, pt := range pts {
+			c := base
+			c.Kind, c.Bench, c.Cores, c.SharedFrac = KindMulticore, n.Bench, pt.Cores, pt.SharedFrac
+			cells = append(cells, cell(c))
+		}
+		return cells
+	case n.Kind == KindL3 && n.Sweep:
+		benches := experiments.L3Benches()
+		cells := make([]JobSpec, 0, len(benches))
+		for _, b := range benches {
+			c := base
+			c.Kind, c.Bench = KindL3, b
+			cells = append(cells, cell(c))
+		}
+		return cells
+	case n.Kind == KindMonteCarlo && n.Scheme == "":
+		schemes := experiments.MonteCarloSchemes()
+		cells := make([]JobSpec, 0, len(schemes))
+		for _, sch := range schemes {
+			cells = append(cells, cell(JobSpec{Kind: KindMonteCarlo, Scheme: sch, Trials: n.Trials, Seed: n.Seed}))
+		}
+		return cells
+	default:
+		// Already a single cell (simulate, multicore point, l3 bench,
+		// single-scheme montecarlo).
+		return []JobSpec{n}
+	}
 }
 
 // budget resolves the normalized spec's instruction budget.

@@ -17,10 +17,11 @@ func coreStride(span int) uint64 {
 }
 
 // CoreGen is one core's stream: the profile generator plus a sharing
-// coin. It implements Source and BatchSource.
+// coin, both held inline so a whole set of per-core generators is one
+// backing allocation. It implements Source and BatchSource.
 type CoreGen struct {
-	gen        *Gen
-	coin       *lfRand
+	gen        Gen
+	coin       lfRand
 	sharedFrac float64
 	offset     uint64 // base of this core's private region
 }
@@ -31,15 +32,16 @@ type CoreGen struct {
 // copy. Same (profile, cores, sharedFrac, seed) ⇒ identical streams.
 func (p Profile) NewCoreGens(cores int, sharedFrac float64, seed int64) []*CoreGen {
 	stride := coreStride(p.WorkingSetBytes + p.StoreBytes)
+	backing := make([]CoreGen, cores)
 	gens := make([]*CoreGen, cores)
-	for i := 0; i < cores; i++ {
+	for i := range backing {
+		g := &backing[i]
 		s := seed + int64(i)*0x9e3779b9 // distinct per-core seeds
-		gens[i] = &CoreGen{
-			gen:        p.NewGen(s),
-			coin:       newLFRand(s ^ 0x5deece66d),
-			sharedFrac: sharedFrac,
-			offset:     uint64(i+1) * stride,
-		}
+		p.initGen(&g.gen, s)
+		g.coin.seed(s ^ 0x5deece66d)
+		g.sharedFrac = sharedFrac
+		g.offset = uint64(i+1) * stride
+		gens[i] = g
 	}
 	return gens
 }

@@ -80,16 +80,18 @@ type Profile struct {
 	LoadRehit       float64 // probability a load reads a recently stored word
 }
 
-// Gen produces the dynamic stream.
+// Gen produces the dynamic stream. Its state — including the RNG vector
+// and the recent-store window — is held inline so a generator costs one
+// allocation, and embedding (trace.CoreGen) costs none.
 type Gen struct {
 	p   Profile
-	rng *lfRand
+	rng lfRand
 
 	seqAddr      uint64
 	storeAddr    uint64 // fresh-store sweep pointer
 	hotBase      uint64 // base of the drifting hot window
 	driftAcc     int    // fractional drift accumulator (per-mille)
-	recentStores []uint64
+	recentStores [64]uint64
 	rsHead       int
 
 	// Draw bounds fixed by the profile, precomputed once (see lfBound).
@@ -98,11 +100,16 @@ type Gen struct {
 
 // NewGen builds a deterministic generator for the profile.
 func (p Profile) NewGen(seed int64) *Gen {
-	g := &Gen{
-		p:            p,
-		rng:          newLFRand(seed),
-		recentStores: make([]uint64, 64),
-	}
+	g := new(Gen)
+	p.initGen(g, seed)
+	return g
+}
+
+// initGen (re)initializes g in place — the allocation-free form of NewGen
+// used where the Gen is embedded in a larger structure.
+func (p Profile) initGen(g *Gen, seed int64) {
+	*g = Gen{p: p}
+	g.rng.seed(seed)
 	if p.DepDistance > 0 {
 		g.depB = makeBound(p.DepDistance)
 		g.dep2B = makeBound(p.DepDistance * 2)
@@ -110,7 +117,6 @@ func (p Profile) NewGen(seed int64) *Gen {
 	g.rsB = makeBound(len(g.recentStores))
 	g.hotB = makeBound(p.HotBytes / 8)
 	g.wsB = makeBound(p.WorkingSetBytes / 8)
-	return g
 }
 
 // Next returns the next dynamic instruction.
