@@ -64,4 +64,5 @@ type Job struct {
 	cellRes   []cellResult
 	delivered []bool
 	remaining int
+	unstarted int // planned cells not yet started; >0 counts the job against the queue bound
 }

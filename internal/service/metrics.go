@@ -12,7 +12,7 @@ type Metrics struct {
 	BusyWorkers       int     `json:"busy_workers"`
 	WorkerUtilization float64 `json:"worker_utilization"` // busy-time fraction since start
 
-	QueueDepth    int `json:"queue_depth"` // jobs still queued
+	QueueDepth    int `json:"queue_depth"` // jobs with cells still awaiting a worker
 	QueueCapacity int `json:"queue_capacity"`
 
 	JobsSubmitted int            `json:"jobs_submitted"`
@@ -55,7 +55,7 @@ func (s *Service) Metrics() Metrics {
 		UptimeSec:        uptime.Seconds(),
 		Workers:          s.cfg.Workers,
 		BusyWorkers:      s.busy,
-		QueueDepth:       s.queuedJobs,
+		QueueDepth:       s.backlogJobs,
 		QueueCapacity:    s.cfg.QueueSize,
 		JobsSubmitted:    s.submitted,
 		JobsCompleted:    s.completed,

@@ -15,7 +15,7 @@ import (
 // Config sizes the daemon.
 type Config struct {
 	Workers       int // concurrent cells; <= 0 means runtime.GOMAXPROCS(0)
-	QueueSize     int // jobs waiting beyond the running ones; <= 0 means 64
+	QueueSize     int // jobs with cells still awaiting a worker; <= 0 means 64
 	CacheSize     int // retained job results; <= 0 means 256
 	CellCacheSize int // retained cell results; <= 0 means 1024
 }
@@ -62,7 +62,7 @@ type Service struct {
 	closed bool
 	nextID int
 
-	queuedJobs int // jobs still in StateQueued, bounded by cfg.QueueSize
+	backlogJobs int // jobs with >=1 cell still awaiting a worker, bounded by cfg.QueueSize
 
 	started   time.Time
 	busy      int   // workers currently running a cell
@@ -173,10 +173,17 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	if job.remaining == 0 {
 		// Every cell was computed before under some other parent:
 		// assemble the report synchronously — the whole job is a cache
-		// hit even though this exact spec never ran.
+		// hit even though this exact spec never ran. Rendering every
+		// artifact can take a while, so drop the lock for the render
+		// (the job is still local; nothing else can see it yet).
+		s.mu.Unlock()
 		res, err := aggregate(norm, job.cellRes)
+		s.mu.Lock()
 		if err != nil {
 			return Job{}, err
+		}
+		if s.closed {
+			return Job{}, ErrClosed
 		}
 		job.State = StateDone
 		job.CacheHit = true
@@ -189,9 +196,26 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		return *job, nil
 	}
 
-	if s.queuedJobs >= s.cfg.QueueSize {
-		return Job{}, ErrQueueFull
+	// Admission: a job counts against the queue bound until every cell
+	// it is waiting on has started, so the run queue can accumulate at
+	// most the plans of cfg.QueueSize jobs. Cells already in flight are
+	// free to join (single-flight adds no work).
+	unstarted := 0
+	joinedRunning := false
+	for _, i := range missing {
+		if c, ok := s.cells[job.planHash[i]]; ok && c.running {
+			joinedRunning = true
+		} else {
+			unstarted++
+		}
 	}
+	if unstarted > 0 {
+		if s.backlogJobs >= s.cfg.QueueSize {
+			return Job{}, ErrQueueFull
+		}
+		s.backlogJobs++
+	}
+	job.unstarted = unstarted
 	for _, i := range missing {
 		h := job.planHash[i]
 		if c, ok := s.cells[h]; ok {
@@ -204,7 +228,12 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	}
 	s.cond.Broadcast()
 	s.register(job)
-	s.queuedJobs++
+	if joinedRunning {
+		// Joining a cell that already started means the job is running
+		// right now; without this it would reach StateDone straight from
+		// StateQueued with Started unset.
+		s.markRunningLocked(job, now)
+	}
 	return *job, nil
 }
 
@@ -276,9 +305,7 @@ func (s *Service) Cancel(id string) (Job, error) {
 // releases its cells. Must run under s.mu.
 func (s *Service) finishCanceledLocked(j *Job, reason string, now time.Time) {
 	s.detachLocked(j)
-	if j.State == StateQueued {
-		s.queuedJobs--
-	}
+	s.clearBacklogLocked(j)
 	j.State = StateCanceled
 	j.Error = reason
 	j.Finished = &now
@@ -373,6 +400,7 @@ func (s *Service) worker() {
 		c.startedAt = start
 		for _, p := range c.parents {
 			s.markRunningLocked(p, start)
+			s.cellStartedLocked(p)
 		}
 		s.busy++
 		s.waitNanos += start.Sub(c.enqueued).Nanoseconds()
@@ -395,8 +423,28 @@ func (s *Service) worker() {
 		if err == nil {
 			s.cellCache.put(c.hash, res)
 			s.cellsCompleted++
+			var ready []*Job // parents this cell completed
 			for _, p := range c.parents {
-				s.deliverLocked(p, c.hash, res, end)
+				if s.deliverLocked(p, c.hash, res) {
+					ready = append(ready, p)
+				}
+			}
+			if len(ready) > 0 {
+				// Aggregation renders every artifact of the parent job;
+				// do it outside the lock so the other workers and the
+				// API handlers keep moving. The parents' cell slices are
+				// complete and no longer written to, so reading them
+				// unlocked is safe.
+				s.mu.Unlock()
+				aggs := make([]*Result, len(ready))
+				errs := make([]error, len(ready))
+				for i, p := range ready {
+					aggs[i], errs[i] = aggregate(p.Spec, p.cellRes)
+				}
+				s.mu.Lock()
+				for i, p := range ready {
+					s.finishAggregatedLocked(p, aggs[i], errs[i], end)
+				}
 			}
 		} else {
 			canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
@@ -408,7 +456,8 @@ func (s *Service) worker() {
 }
 
 // markRunningLocked moves a queued parent to StateRunning when its first
-// cell starts. Must run under s.mu.
+// cell starts (or when it joins a cell that had already started). Must
+// run under s.mu.
 func (s *Service) markRunningLocked(p *Job, now time.Time) {
 	if p.State != StateQueued {
 		return
@@ -417,29 +466,59 @@ func (s *Service) markRunningLocked(p *Job, now time.Time) {
 	p.State = StateRunning
 	p.Started = &t
 	p.Version++
-	s.queuedJobs--
+}
+
+// cellStartedLocked notes that one of p's planned cells reached a
+// worker. The job stops counting against the queue bound once every
+// cell it is waiting on has started. Must run under s.mu.
+func (s *Service) cellStartedLocked(p *Job) {
+	if p.unstarted == 0 {
+		return
+	}
+	p.unstarted--
+	if p.unstarted == 0 {
+		s.backlogJobs--
+	}
+}
+
+// clearBacklogLocked releases a terminal job's claim on the queue bound
+// when it still had cells awaiting a worker. Must run under s.mu.
+func (s *Service) clearBacklogLocked(j *Job) {
+	if j.unstarted > 0 {
+		j.unstarted = 0
+		s.backlogJobs--
+	}
 }
 
 // deliverLocked hands one completed cell to a parent; the parent's
-// progress derives from its cells. The last delivery aggregates the
-// cells into the job's report. Must run under s.mu.
-func (s *Service) deliverLocked(p *Job, hash string, res cellResult, end time.Time) {
+// progress derives from its cells. Returns true when this was the
+// parent's last outstanding cell: the caller then aggregates outside
+// the lock and publishes through finishAggregatedLocked. Must run
+// under s.mu.
+func (s *Service) deliverLocked(p *Job, hash string, res cellResult) bool {
 	if p.State.terminal() {
-		return
+		return false
 	}
 	idx, ok := p.cellIdx[hash]
 	if !ok || p.delivered[idx] {
-		return
+		return false
 	}
 	p.cellRes[idx] = res
 	p.delivered[idx] = true
 	p.remaining--
 	p.Progress.Done++
 	p.Version++
-	if p.remaining > 0 {
+	return p.remaining == 0
+}
+
+// finishAggregatedLocked publishes a fully-delivered parent's report.
+// The parent may have been canceled while the caller aggregated outside
+// the lock; the result is dropped in that case. Must run under s.mu.
+func (s *Service) finishAggregatedLocked(p *Job, agg *Result, err error, end time.Time) {
+	if p.State.terminal() {
 		return
 	}
-	agg, err := aggregate(p.Spec, p.cellRes)
+	s.clearBacklogLocked(p)
 	t := end
 	p.Finished = &t
 	p.Version++
@@ -469,9 +548,7 @@ func (s *Service) failLocked(p *Job, err error, canceled bool, end time.Time) {
 		return
 	}
 	s.detachLocked(p)
-	if p.State == StateQueued {
-		s.queuedJobs--
-	}
+	s.clearBacklogLocked(p)
 	t := end
 	p.State = StateFailed
 	p.Error = err.Error()

@@ -114,6 +114,39 @@ func TestOverlappingSweepsShareCells(t *testing.T) {
 	}
 }
 
+// TestLateJoinReleasesQueueSlot pins the single-flight accounting: a
+// job that joins a cell already in flight is marked running at submit
+// (Started set) and releases no queue slot it never held — QueueDepth
+// must return to zero once both jobs complete, where the leak left it
+// stuck at one per late joiner until every Submit reported a full queue.
+func TestLateJoinReleasesQueueSlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed simulation")
+	}
+	s := service.New(service.Config{Workers: 1, QueueSize: 2})
+	defer shutdown(t, s)
+
+	// Long enough to still be in flight when the twin submission lands.
+	spec := service.JobSpec{Kind: "simulate", Bench: "gzip", Scheme: "cppc",
+		Warmup: 0, Measure: 20_000_000}
+	first := submitSpec(t, s, spec)
+	waitJob(t, s, first.ID, func(j service.Job) bool { return j.State == service.StateRunning }, 30*time.Second)
+
+	second := submitSpec(t, s, spec)
+	if second.State != service.StateRunning || second.Started == nil {
+		t.Fatalf("late-joining twin = state %s, started %v; want running with a start time",
+			second.State, second.Started)
+	}
+	waitJob(t, s, first.ID, jobDone, 2*time.Minute)
+	done := waitJob(t, s, second.ID, jobDone, 2*time.Minute)
+	if done.Started == nil || done.Finished == nil {
+		t.Fatalf("late-joining twin finished without timestamps: %+v", done)
+	}
+	if depth := s.Metrics().QueueDepth; depth != 0 {
+		t.Fatalf("queue depth after both twins completed = %d, want 0", depth)
+	}
+}
+
 // TestCancelParentCancelsCells cancels a running sweep and requires its
 // in-flight cell to stop and its queued cells to be discarded — but a
 // cell another job still waits on must survive the cancellation.
