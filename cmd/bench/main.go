@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"cppc/internal/cache"
+	"cppc/internal/cellstore"
 	"cppc/internal/core"
 	"cppc/internal/experiments"
 	"cppc/internal/parity"
@@ -68,6 +69,29 @@ func benchProfiles() []trace.Profile {
 		out = append(out, p)
 	}
 	return out
+}
+
+// benchDisk builds a throwaway disk cell store; the caller removes dir.
+func benchDisk() (*cellstore.Disk, string) {
+	dir, err := os.MkdirTemp("", "cppc-bench-disk-*")
+	if err != nil {
+		panic(fmt.Sprintf("disk store tempdir: %v", err))
+	}
+	d, err := cellstore.NewDisk(dir, 0)
+	if err != nil {
+		os.RemoveAll(dir)
+		panic(fmt.Sprintf("disk store: %v", err))
+	}
+	return d, dir
+}
+
+// benchCellPayload is a typical encoded cell: a few KB of JSON-ish bytes.
+func benchCellPayload() []byte {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte('a' + i%26)
+	}
+	return data
 }
 
 func newHotController() *protect.Controller {
@@ -136,6 +160,32 @@ var entries = []struct {
 		for i := 0; i < b.N; i++ {
 			if res := h.Decode(data, check); res.Outcome != parity.SECDEDClean {
 				panic("decode broke")
+			}
+		}
+	}},
+	{"CellStoreDiskPut", func(b *testing.B) {
+		b.ReportAllocs()
+		d, dir := benchDisk()
+		defer os.RemoveAll(dir)
+		data := benchCellPayload()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Put(fmt.Sprintf("%064x", i), data)
+		}
+	}},
+	{"CellStoreDiskGet", func(b *testing.B) {
+		b.ReportAllocs()
+		d, dir := benchDisk()
+		defer os.RemoveAll(dir)
+		data := benchCellPayload()
+		const entries = 256
+		for i := 0; i < entries; i++ {
+			d.Put(fmt.Sprintf("%064x", i), data)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := d.Get(fmt.Sprintf("%064x", i%entries)); !ok {
+				panic("disk store lost a cell")
 			}
 		}
 	}},

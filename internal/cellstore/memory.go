@@ -1,0 +1,70 @@
+package cellstore
+
+import "sync"
+
+// Memory is the bounded in-memory tier: the daemon's old cellCache
+// behind the Store seam. Eviction is FIFO by insertion — the workload is
+// "regenerate the same figures again", where recency matters much less
+// than simply retaining the recent working set. The eviction loop runs
+// while the store is at or over its bound, so shrinking the bound (or a
+// future config change) can never leave it oversized.
+type Memory struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string][]byte
+	order   []string
+	bytes   int64
+	hits    uint64
+	misses  uint64
+}
+
+// NewMemory builds a memory tier holding at most max entries (<= 0 means
+// 1024, the old cell cache default).
+func NewMemory(max int) *Memory {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Memory{max: max, entries: make(map[string][]byte)}
+}
+
+func (m *Memory) Get(hash string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.entries[hash]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return data, ok
+}
+
+func (m *Memory) Put(hash string, data []byte) {
+	if !validHash(hash) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.entries[hash]; ok {
+		m.bytes += int64(len(data)) - int64(len(old))
+		m.entries[hash] = data
+		return
+	}
+	for len(m.order) >= m.max {
+		oldest := m.order[0]
+		m.order = m.order[1:]
+		m.bytes -= int64(len(m.entries[oldest]))
+		delete(m.entries, oldest)
+	}
+	m.entries[hash] = data
+	m.order = append(m.order, hash)
+	m.bytes += int64(len(data))
+}
+
+func (m *Memory) Stats() []Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return []Stats{{Tier: "memory", Hits: m.hits, Misses: m.misses, Entries: len(m.entries), Bytes: m.bytes}}
+}
+
+func (m *Memory) Close() error { return nil }

@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cppc/internal/cellstore"
+	"cppc/internal/experiments"
+	"cppc/internal/service"
+)
+
+// tinyBudget keeps per-cell work to a few milliseconds so whole suites
+// finish fast even on one worker.
+const tinyWarmup, tinyMeasure = 2000, 5000
+
+// testDaemon is one in-process cppcd: service + store + fleet node +
+// an HTTP server exposing the /fleet/ protocol.
+type testDaemon struct {
+	svc   *service.Service
+	node  *Node
+	store cellstore.Store
+	ts    *httptest.Server
+	url   string
+}
+
+// kill takes the daemon down hard, in dependency order: stop stealing,
+// stop serving, drain the service. Safe to call twice.
+func (d *testDaemon) kill() {
+	d.node.Close()
+	d.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d.svc.Shutdown(ctx) // second call reports closed; ignore
+}
+
+// startFleet brings up n daemons in a full peer mesh. Servers come up
+// first so every peer URL exists before any node is built, handlers are
+// mounted before any poller starts.
+func startFleet(t *testing.T, n, workers int, peerTimeout, pollInterval time.Duration) []*testDaemon {
+	t.Helper()
+	ds := make([]*testDaemon, n)
+	muxes := make([]*http.ServeMux, n)
+	for i := range ds {
+		muxes[i] = http.NewServeMux()
+		ts := httptest.NewServer(muxes[i])
+		ds[i] = &testDaemon{ts: ts, url: ts.URL}
+	}
+	for i, d := range ds {
+		var peers []string
+		for j, o := range ds {
+			if j != i {
+				peers = append(peers, o.url)
+			}
+		}
+		d.store = cellstore.NewMemory(1024)
+		d.svc = service.New(service.Config{Workers: workers, Store: d.store})
+		d.node = New(Config{
+			Self:         d.url,
+			Peers:        peers,
+			Local:        d.store,
+			Exec:         d.svc,
+			PeerTimeout:  peerTimeout,
+			PollInterval: pollInterval,
+		})
+		d.svc.SetCoordinator(d.node)
+		muxes[i].Handle("/fleet/", d.node.Handler())
+	}
+	for _, d := range ds {
+		d.node.Start()
+	}
+	t.Cleanup(func() {
+		for _, d := range ds {
+			d.kill()
+		}
+	})
+	return ds
+}
+
+func submit(t *testing.T, s *service.Service, spec service.JobSpec) service.Job {
+	t.Helper()
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit %+v: %v", spec, err)
+	}
+	return job
+}
+
+func waitDone(t *testing.T, s *service.Service, id string, timeout time.Duration) service.Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		job, err := s.Job(id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if job.State == service.StateDone {
+			return job
+		}
+		if job.State == service.StateFailed {
+			t.Fatalf("job %s failed: %s", id, job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s (progress %d/%d)",
+				id, job.State, job.Progress.Done, job.Progress.Total)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetSuiteExactlyOnce is the tentpole acceptance test: a 60-cell
+// suite submitted to one of three daemons must execute each cell exactly
+// once across the fleet — idle peers steal real work — and render a
+// report byte-identical to the sequential in-process suite.
+func TestFleetSuiteExactlyOnce(t *testing.T) {
+	// A long PeerTimeout keeps the local-fallback path out of the way:
+	// any fallback would re-execute a cell and break the exact count.
+	ds := startFleet(t, 3, 1, 15*time.Second, 5*time.Millisecond)
+
+	budget := experiments.Budget{Warmup: tinyWarmup, Measure: tinyMeasure, Seed: 1}
+	seq, err := experiments.RunSuiteCtx(context.Background(), budget, experiments.SuiteOptions{})
+	if err != nil {
+		t.Fatalf("sequential suite: %v", err)
+	}
+	want := map[string]string{
+		"fig10":  seq.Figure10(),
+		"fig11":  seq.Figure11(),
+		"fig12":  seq.Figure12(),
+		"table2": seq.Table2String(),
+		"table3": seq.Table3(),
+	}
+
+	job := submit(t, ds[0].svc, service.JobSpec{Kind: "suite", Warmup: tinyWarmup, Measure: tinyMeasure})
+	done := waitDone(t, ds[0].svc, job.ID, 120*time.Second)
+	if done.Progress.Total != 60 || done.Progress.Done != 60 {
+		t.Fatalf("suite progress = %d/%d, want 60/60", done.Progress.Done, done.Progress.Total)
+	}
+
+	total := 0
+	for i, d := range ds {
+		n := d.svc.Metrics().CellsExecuted
+		t.Logf("daemon %d executed %d cells, fleet stats %v", i, n, d.node.Stats())
+		total += n
+	}
+	if total != 60 {
+		t.Fatalf("fleet executed %d cells for a 60-cell suite, want exactly 60", total)
+	}
+	var stolen int64
+	for _, d := range ds {
+		stolen += d.node.Stats()["cells_stolen"]
+	}
+	if stolen == 0 {
+		t.Fatalf("idle peers stole no cells from the loaded daemon")
+	}
+
+	_, res, err := ds[0].svc.JobResult(done.ID)
+	if err != nil || res == nil {
+		t.Fatalf("suite result: %+v, %v", res, err)
+	}
+	for name, text := range want {
+		if res.Artifacts[name] != text {
+			t.Fatalf("artifact %q diverges from the sequential suite", name)
+		}
+	}
+}
+
+// TestFleetTwoDaemonsOneExecution pins the claim protocol's purpose: the
+// same cell submitted to two daemons at once runs on exactly one of them;
+// the loser serves the winner's result.
+func TestFleetTwoDaemonsOneExecution(t *testing.T) {
+	ds := startFleet(t, 2, 1, 15*time.Second, 5*time.Millisecond)
+	spec := service.JobSpec{Kind: "simulate", Bench: "gzip", Scheme: "cppc",
+		Warmup: tinyWarmup, Measure: tinyMeasure}
+
+	a := submit(t, ds[0].svc, spec)
+	b := submit(t, ds[1].svc, spec)
+	ja := waitDone(t, ds[0].svc, a.ID, 60*time.Second)
+	jb := waitDone(t, ds[1].svc, b.ID, 60*time.Second)
+
+	total := ds[0].svc.Metrics().CellsExecuted + ds[1].svc.Metrics().CellsExecuted
+	if total != 1 {
+		t.Fatalf("fleet executed the cell %d times, want exactly once", total)
+	}
+
+	_, ra, err := ds[0].svc.JobResult(ja.ID)
+	if err != nil || ra == nil {
+		t.Fatalf("result on daemon A: %v", err)
+	}
+	_, rb, err := ds[1].svc.JobResult(jb.ID)
+	if err != nil || rb == nil {
+		t.Fatalf("result on daemon B: %v", err)
+	}
+	if ra.Artifacts["summary"] != rb.Artifacts["summary"] {
+		t.Fatalf("daemons disagree on the one cell:\n%q\nvs\n%q",
+			ra.Artifacts["summary"], rb.Artifacts["summary"])
+	}
+}
+
+// TestFleetPeerDeathFallback kills a peer mid-suite: cells it claimed
+// but never delivered must fall back to local execution on the
+// submitting daemon, and the suite must still complete. A dead peer
+// degrades the fleet; it never wedges it.
+func TestFleetPeerDeathFallback(t *testing.T) {
+	// Short PeerTimeout so abandoned claims are given up on quickly.
+	ds := startFleet(t, 2, 1, 300*time.Millisecond, 10*time.Millisecond)
+
+	job := submit(t, ds[0].svc, service.JobSpec{Kind: "suite", Warmup: tinyWarmup, Measure: tinyMeasure})
+
+	// Let the peer get its hands dirty first, so the kill has something
+	// to abandon.
+	deadline := time.Now().Add(30 * time.Second)
+	for ds[1].svc.Metrics().CellsExecuted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never stole a cell; fleet stats %v", ds[1].node.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ds[1].kill()
+
+	done := waitDone(t, ds[0].svc, job.ID, 120*time.Second)
+	if done.Progress.Done != done.Progress.Total {
+		t.Fatalf("suite progress = %d/%d after peer death", done.Progress.Done, done.Progress.Total)
+	}
+	if _, res, err := ds[0].svc.JobResult(done.ID); err != nil || res == nil || res.Artifacts["table2"] == "" {
+		t.Fatalf("suite result after peer death: %+v, %v", res, err)
+	}
+	t.Logf("survivor executed %d cells, fleet stats %v",
+		ds[0].svc.Metrics().CellsExecuted, ds[0].node.Stats())
+}
+
+// TestClaimTieBreak races two nodes claiming the same cell: every round
+// must end with exactly one winner, whichever interleaving the scheduler
+// produces.
+func TestClaimTieBreak(t *testing.T) {
+	muxA, muxB := http.NewServeMux(), http.NewServeMux()
+	tsA, tsB := httptest.NewServer(muxA), httptest.NewServer(muxB)
+	defer tsA.Close()
+	defer tsB.Close()
+
+	a := New(Config{Self: tsA.URL, Peers: []string{tsB.URL}, Local: cellstore.NewMemory(8)})
+	b := New(Config{Self: tsB.URL, Peers: []string{tsA.URL}, Local: cellstore.NewMemory(8)})
+	defer a.Close()
+	defer b.Close()
+	muxA.Handle("/fleet/", a.Handler())
+	muxB.Handle("/fleet/", b.Handler())
+
+	for i := 0; i < 30; i++ {
+		hash := fmt.Sprintf("%064x", 7000+i)
+		var aWon, bWon bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); aWon = a.acquire(hash) }()
+		go func() { defer wg.Done(); bWon = b.acquire(hash) }()
+		wg.Wait()
+		if aWon == bWon {
+			t.Fatalf("round %d: a=%v b=%v, want exactly one winner", i, aWon, bWon)
+		}
+	}
+}

@@ -35,7 +35,10 @@ func (c *resultCache) get(hash string) (*Result, bool) {
 	return r, ok
 }
 
-// put stores a result, evicting the oldest entry when full.
+// put stores a result, evicting oldest entries while the cache is at or
+// over its bound — `>=`, not `==`, so a shrunk bound (or any future
+// config change that leaves the cache oversized) drains back under the
+// limit instead of growing without bound.
 func (c *resultCache) put(hash string, r *Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -43,7 +46,7 @@ func (c *resultCache) put(hash string, r *Result) {
 		c.entries[hash] = r
 		return
 	}
-	if len(c.order) == c.max {
+	for len(c.order) >= c.max {
 		oldest := c.order[0]
 		c.order = c.order[1:]
 		delete(c.entries, oldest)

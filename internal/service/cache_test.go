@@ -1,0 +1,75 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"cppc/internal/experiments"
+)
+
+// TestResultCacheBound pins the eviction rule on the job cache: FIFO,
+// never over the bound, and — the shrinking-working-set edge — a cache
+// that finds itself over a (reduced) bound drains back under it on the
+// next put instead of growing unbounded forever.
+func TestResultCacheBound(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("h%d", i), &Result{Kind: "simulate"})
+	}
+	if _, _, entries := c.stats(); entries != 3 {
+		t.Fatalf("entries = %d, want 3", entries)
+	}
+	for i := 0; i < 7; i++ {
+		if _, ok := c.get(fmt.Sprintf("h%d", i)); ok {
+			t.Fatalf("entry h%d not FIFO-evicted", i)
+		}
+	}
+	for i := 7; i < 10; i++ {
+		if _, ok := c.get(fmt.Sprintf("h%d", i)); !ok {
+			t.Fatalf("recent entry h%d evicted", i)
+		}
+	}
+
+	// Shrink the bound under a full cache: the next put must evict down
+	// to the new limit, not stop at one.
+	c.max = 1
+	c.put("h99", &Result{Kind: "simulate"})
+	if _, _, entries := c.stats(); entries > 1 {
+		t.Fatalf("entries = %d after bound shrank to 1", entries)
+	}
+	if _, ok := c.get("h99"); !ok {
+		t.Fatalf("newest entry evicted instead of oldest")
+	}
+}
+
+// TestCellCodecRoundTrip requires the canonical cell encoding to
+// reproduce the typed result exactly — the property the byte-identical
+// fleet reports rest on.
+func TestCellCodecRoundTrip(t *testing.T) {
+	run := experiments.Run{Bench: "gzip", Scheme: experiments.CPPC, CPI: 1.0625437891234567}
+	run.L1.Misses = 1<<52 + 3
+	run.L1Gran.Dirty = 0.12345678901234567
+	in := cellResult{Run: &run}
+
+	data, err := encodeCell(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := decodeCell(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Run == nil || *out.Run != run {
+		t.Fatalf("round trip lost data: %+v vs %+v", out.Run, run)
+	}
+	if out.Multicore != nil || out.L3 != nil || out.MC != nil {
+		t.Fatalf("phantom fields decoded: %+v", out)
+	}
+
+	// Torn or foreign blobs must be rejected, not decoded as empty cells.
+	for _, bad := range [][]byte{nil, []byte("{}"), []byte("not json"), data[:len(data)/2]} {
+		if _, err := decodeCell(bad); err == nil {
+			t.Fatalf("bad blob %q decoded", bad)
+		}
+	}
+}

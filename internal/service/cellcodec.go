@@ -1,0 +1,43 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"cppc/internal/experiments"
+)
+
+// cellResult is one executed cell's typed output. Exactly one field is
+// set, matching the cell spec's kind. Cells carry the typed value rather
+// than rendered text so overlapping sweeps can re-aggregate it into
+// whatever artifact their parent job asked for.
+type cellResult struct {
+	Run       *experiments.Run            `json:"run,omitempty"`       // simulate
+	Multicore *experiments.MulticoreRun   `json:"multicore,omitempty"` // multicore point
+	L3        *experiments.L3Run          `json:"l3,omitempty"`        // l3 bench
+	MC        *experiments.MonteCarloCell `json:"mc,omitempty"`        // montecarlo scheme
+}
+
+// encodeCell renders a cell result into the canonical bytes every store
+// tier and the fleet wire protocol carry. JSON round-trips each field
+// exactly (integers verbatim, float64s in shortest re-parsable form), so
+// a cell decoded from disk or a peer aggregates into reports
+// byte-identical to a locally computed one.
+func encodeCell(res cellResult) ([]byte, error) {
+	return json.Marshal(res)
+}
+
+// decodeCell parses stored bytes back into a typed cell result. A blob
+// carrying no payload at all is rejected, so a torn disk write or a
+// malformed peer response can't masquerade as a computed cell — callers
+// fall back to recomputation.
+func decodeCell(data []byte) (cellResult, error) {
+	var res cellResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return cellResult{}, fmt.Errorf("cell decode: %w", err)
+	}
+	if res.Run == nil && res.Multicore == nil && res.L3 == nil && res.MC == nil {
+		return cellResult{}, fmt.Errorf("cell decode: empty result")
+	}
+	return res, nil
+}

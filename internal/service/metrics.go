@@ -1,6 +1,10 @@
 package service
 
-import "time"
+import (
+	"time"
+
+	"cppc/internal/cellstore"
+)
 
 // Metrics is the GET /metrics payload: queue pressure, worker
 // utilization, cache effectiveness (whole jobs and individual cells),
@@ -23,9 +27,14 @@ type Metrics struct {
 	JobsByKind    map[string]int `json:"jobs_by_kind,omitempty"` // submissions per job kind
 
 	// Shard scheduler gauges: cells are the unit workers actually run.
+	// CellsCompleted counts cells a local worker delivered (including
+	// store hits); CellsExecuted counts simulations this process ran,
+	// including cells stolen from fleet peers — in a healthy fleet the
+	// sum of CellsExecuted across daemons equals the distinct cells.
 	CellsQueued    int `json:"cells_queued"`
 	CellsRunning   int `json:"cells_running"`
 	CellsCompleted int `json:"cells_completed"`
+	CellsExecuted  int `json:"cells_executed"`
 
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
@@ -41,12 +50,32 @@ type Metrics struct {
 	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms"`
 	RunMeanMs       float64 `json:"run_mean_ms"`
 	RunMaxMs        float64 `json:"run_max_ms"`
+
+	// StoreTiers breaks the cell store down per tier (memory, disk);
+	// the legacy cell_cache_* fields above mirror the memory tier.
+	StoreTiers []cellstore.Stats `json:"store_tiers,omitempty"`
+
+	// Fleet carries the coordinator's counters (peer hits, claims won
+	// and lost, cells stolen, local fallbacks) when fleet mode is on.
+	Fleet map[string]int64 `json:"fleet,omitempty"`
 }
 
 // Metrics snapshots the counters.
 func (s *Service) Metrics() Metrics {
 	hits, misses, entries := s.cache.stats()
-	cHits, cMisses, cEntries := s.cellCache.stats()
+	tiers := s.store.Stats()
+	var cHits, cMisses uint64
+	var cEntries int
+	for _, t := range tiers {
+		if t.Tier == "memory" {
+			cHits, cMisses, cEntries = t.Hits, t.Misses, t.Entries
+			break
+		}
+	}
+	var fleetStats map[string]int64
+	if coord := s.coordinator(); coord != nil {
+		fleetStats = coord.Stats()
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -64,12 +93,15 @@ func (s *Service) Metrics() Metrics {
 		CellsQueued:      len(s.runq),
 		CellsRunning:     s.busy,
 		CellsCompleted:   s.cellsCompleted,
+		CellsExecuted:    s.cellsExecuted,
 		CacheHits:        hits,
 		CacheMisses:      misses,
 		CacheEntries:     entries,
 		CellCacheHits:    cHits,
 		CellCacheMisses:  cMisses,
 		CellCacheEntries: cEntries,
+		StoreTiers:       tiers,
+		Fleet:            fleetStats,
 	}
 	if len(s.jobsByKind) > 0 {
 		m.JobsByKind = make(map[string]int, len(s.jobsByKind))

@@ -17,7 +17,7 @@ import (
 //	GET    /jobs/{id}/events server-sent events: a status snapshot per change
 //	DELETE /jobs/{id}        cancel a queued or running job
 //	GET    /metrics          Metrics JSON
-//	GET    /healthz          liveness
+//	GET    /healthz          readiness: 200 serving, 503 draining
 type Server struct {
 	svc *Service
 	mux *http.ServeMux
@@ -37,10 +37,19 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// handleHealthz is the readiness probe fleet membership checks and load
+// balancers key off: 200 while the daemon accepts jobs, 503 once a
+// drain has begun so traffic (and peer steals) stop landing here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.svc.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // Handler returns the routed handler for an http.Server.

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"cppc/internal/cellstore"
 	"cppc/internal/experiments"
 	"cppc/internal/trace"
 )
@@ -17,7 +18,33 @@ type Config struct {
 	Workers       int // concurrent cells; <= 0 means runtime.GOMAXPROCS(0)
 	QueueSize     int // jobs with cells still awaiting a worker; <= 0 means 64
 	CacheSize     int // retained job results; <= 0 means 256
-	CellCacheSize int // retained cell results; <= 0 means 1024
+	CellCacheSize int // retained cell results when Store is nil; <= 0 means 1024
+
+	// Store is the composed cell-result store the scheduler reads and
+	// writes through (memory tier, optionally disk below it). nil means
+	// a memory-only store bounded by CellCacheSize.
+	Store cellstore.Store
+}
+
+// Coordinator distributes cell execution across a fleet of daemons. The
+// scheduler calls RunCell for every cell that missed the local store;
+// the coordinator may fetch the result from a peer, claim the cell
+// fleet-wide and run local, or — when peers are slow or dead — fall back
+// to local anyway. internal/fleet implements it; nil means single-daemon.
+type Coordinator interface {
+	// RunCell returns the cell's canonical encoded bytes. local executes
+	// the cell in this process and must be the fallback whenever peers
+	// cannot produce the result.
+	RunCell(ctx context.Context, hash string, local func(context.Context) ([]byte, error)) ([]byte, error)
+	// Stats returns fleet counters for /metrics.
+	Stats() map[string]int64
+}
+
+// QueuedCell is one cell awaiting a local worker, exposed over the fleet
+// protocol so idle peers can steal it.
+type QueuedCell struct {
+	Hash string  `json:"hash"`
+	Spec JobSpec `json:"spec"`
 }
 
 // Errors surfaced to the HTTP layer.
@@ -49,9 +76,9 @@ type cellJob struct {
 // table, the scheduler state and every Job's fields; snapshots returned
 // to callers are copies.
 type Service struct {
-	cfg       Config
-	cache     *resultCache
-	cellCache *cellCache
+	cfg   Config
+	cache *resultCache
+	store cellstore.Store
 
 	mu     sync.Mutex
 	cond   *sync.Cond // signaled when runq grows or the service closes
@@ -78,6 +105,9 @@ type Service struct {
 	submitted, completed, failed, canceled int
 	jobsByKind                             map[string]int
 	cellsCompleted                         int
+	cellsExecuted                          int // cells this process actually simulated (incl. fleet steals)
+
+	coord Coordinator // fleet coordinator; nil means single-daemon
 
 	wg sync.WaitGroup
 }
@@ -90,10 +120,13 @@ func New(cfg Config) *Service {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 64
 	}
+	if cfg.Store == nil {
+		cfg.Store = cellstore.NewMemory(cfg.CellCacheSize)
+	}
 	s := &Service{
 		cfg:        cfg,
 		cache:      newResultCache(cfg.CacheSize),
-		cellCache:  newCellCache(cfg.CellCacheSize),
+		store:      cfg.Store,
 		jobs:       make(map[string]*Job),
 		cells:      make(map[string]*cellJob),
 		jobsByKind: make(map[string]int),
@@ -120,6 +153,27 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	hash := norm.hash()
 	plan := planCells(norm)
 
+	// Probe the caches before taking the scheduler lock: the store's
+	// disk tier does file I/O, and fresh work misses every probe — none
+	// of that belongs under s.mu. A cell completing between probe and
+	// enqueue is caught again by the worker's pre-execution store check.
+	jobRes, jobHit := s.cache.get(hash)
+	var planHash []string
+	var cellHits []*cellResult
+	if !jobHit {
+		planHash = make([]string, len(plan))
+		cellHits = make([]*cellResult, len(plan))
+		for i, c := range plan {
+			planHash[i] = c.hash()
+			if data, ok := s.store.Get(planHash[i]); ok {
+				if res, err := decodeCell(data); err == nil {
+					r := res
+					cellHits[i] = &r
+				}
+			}
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -135,10 +189,10 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		Submitted: now,
 	}
 
-	if res, ok := s.cache.get(hash); ok {
+	if jobHit {
 		job.State = StateDone
 		job.CacheHit = true
-		job.result = res
+		job.result = jobRes
 		job.Progress = Progress{Done: 1, Total: 1}
 		job.Started, job.Finished = &now, &now
 		job.Version++
@@ -148,7 +202,7 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	}
 
 	job.plan = plan
-	job.planHash = make([]string, len(plan))
+	job.planHash = planHash
 	job.cellIdx = make(map[string]int, len(plan))
 	job.cellRes = make([]cellResult, len(plan))
 	job.delivered = make([]bool, len(plan))
@@ -156,12 +210,10 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	job.Progress = Progress{Done: 0, Total: len(plan)}
 
 	var missing []int
-	for i, c := range plan {
-		h := c.hash()
-		job.planHash[i] = h
-		job.cellIdx[h] = i
-		if res, ok := s.cellCache.get(h); ok {
-			job.cellRes[i] = res
+	for i := range plan {
+		job.cellIdx[planHash[i]] = i
+		if cellHits[i] != nil {
+			job.cellRes[i] = *cellHits[i]
 			job.delivered[i] = true
 			job.remaining--
 			job.Progress.Done++
@@ -406,7 +458,7 @@ func (s *Service) worker() {
 		s.waitNanos += start.Sub(c.enqueued).Nanoseconds()
 		s.mu.Unlock()
 
-		res, err := executeCell(ctx, c.spec)
+		res, err := s.runCell(ctx, c.hash, c.spec)
 		cancel()
 
 		s.mu.Lock()
@@ -421,7 +473,6 @@ func (s *Service) worker() {
 		s.ranCells++
 		delete(s.cells, c.hash)
 		if err == nil {
-			s.cellCache.put(c.hash, res)
 			s.cellsCompleted++
 			var ready []*Job // parents this cell completed
 			for _, p := range c.parents {
@@ -555,6 +606,138 @@ func (s *Service) failLocked(p *Job, err error, canceled bool, end time.Time) {
 	p.Finished = &t
 	p.Version++
 	s.failed++
+}
+
+// runCell produces one cell's result through the store seam: a result
+// computed earlier — by another job, by a previous process over the same
+// data dir, or by a fleet peer — is decoded and reused; otherwise the
+// cell executes, locally or wherever the fleet coordinator decides, and
+// the canonical bytes are written through every store tier. Runs outside
+// s.mu.
+func (s *Service) runCell(ctx context.Context, hash string, spec JobSpec) (cellResult, error) {
+	if data, ok := s.store.Get(hash); ok {
+		if res, err := decodeCell(data); err == nil {
+			return res, nil
+		}
+		// A corrupt entry (torn disk write, bad peer bytes) falls
+		// through to recomputation and is overwritten below.
+	}
+	local := func(ctx context.Context) ([]byte, error) {
+		res, err := s.executeCounted(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		return encodeCell(res)
+	}
+	var data []byte
+	var err error
+	if coord := s.coordinator(); coord != nil {
+		data, err = coord.RunCell(ctx, hash, local)
+	} else {
+		data, err = local(ctx)
+	}
+	if err != nil {
+		return cellResult{}, err
+	}
+	res, derr := decodeCell(data)
+	if derr != nil {
+		// A peer handed back bytes we cannot read: recompute locally.
+		if data, err = local(ctx); err != nil {
+			return cellResult{}, err
+		}
+		if res, derr = decodeCell(data); derr != nil {
+			return cellResult{}, derr
+		}
+	}
+	s.store.Put(hash, data)
+	return res, nil
+}
+
+// executeCounted is the one funnel every local cell execution passes
+// through — worker-scheduled cells and fleet steals alike — so
+// CellsExecuted counts exactly the simulations this process ran.
+func (s *Service) executeCounted(ctx context.Context, spec JobSpec) (cellResult, error) {
+	res, err := executeCell(ctx, spec)
+	if err != nil {
+		return cellResult{}, err
+	}
+	s.mu.Lock()
+	s.cellsExecuted++
+	s.mu.Unlock()
+	return res, nil
+}
+
+// SetCoordinator installs the fleet coordinator. Wire it before the
+// daemon takes traffic; cells already in flight keep executing locally.
+func (s *Service) SetCoordinator(c Coordinator) {
+	s.mu.Lock()
+	s.coord = c
+	s.mu.Unlock()
+}
+
+func (s *Service) coordinator() Coordinator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coord
+}
+
+// Draining reports whether Shutdown has begun: the daemon refuses new
+// jobs and /healthz turns not-ready so peers and load balancers stop
+// routing work here.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// StealableCells lists up to max cells still awaiting a local worker,
+// oldest first. Fleet peers poll this to steal work; the claim protocol
+// — not this listing — is what keeps a cell from running twice.
+func (s *Service) StealableCells(max int) []QueuedCell {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []QueuedCell
+	for _, c := range s.runq {
+		if len(c.parents) == 0 {
+			continue // orphaned; a worker will discard it
+		}
+		out = append(out, QueuedCell{Hash: c.hash, Spec: c.spec})
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+// LoadHint reports scheduler pressure for the fleet stealer: cells
+// awaiting a worker, busy workers, and the pool size.
+func (s *Service) LoadHint() (queued, busy, workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runq), s.busy, s.cfg.Workers
+}
+
+// ExecuteSpec runs one cell spec outside the worker pool — this is where
+// a fleet steal lands — and returns the canonical encoded bytes after
+// writing them through the local store.
+func (s *Service) ExecuteSpec(ctx context.Context, spec JobSpec) ([]byte, error) {
+	norm, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if s.Draining() {
+		return nil, ErrClosed
+	}
+	res, err := s.executeCounted(ctx, norm)
+	if err != nil {
+		return nil, err
+	}
+	data, err := encodeCell(res)
+	if err != nil {
+		return nil, err
+	}
+	s.store.Put(norm.hash(), data)
+	return data, nil
 }
 
 // executeCell runs one cell's simulation under its cancellation context.
