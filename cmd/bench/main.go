@@ -29,6 +29,7 @@ import (
 
 	"time"
 
+	"cppc/internal/bitops"
 	"cppc/internal/cache"
 	"cppc/internal/cellstore"
 	"cppc/internal/core"
@@ -137,6 +138,40 @@ var entries = []struct {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			ctrl.Store(0x40, uint64(i), uint64(i+2))
+		}
+	}},
+	{"FoldLine", func(b *testing.B) {
+		b.ReportAllocs()
+		// A full 8-word (64-byte) line: the multi-accumulator kernel's
+		// widest committed shape, tracked independently of the CPI
+		// benchmarks that amortize it.
+		line := make([]uint64, 8)
+		for i := range line {
+			line[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		}
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink ^= bitops.FoldLine(line)
+		}
+		if sink == 42 {
+			panic("fold sink")
+		}
+	}},
+	{"GranuleParity", func(b *testing.B) {
+		b.ReportAllocs()
+		eng, err := core.New(cache.New(cache.L1DConfig()), core.DefaultL1Config())
+		if err != nil {
+			panic(err)
+		}
+		data := []uint64{0xdeadbeefcafebabe}
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink ^= eng.GranuleParity(data)
+		}
+		if sink == 1<<63 {
+			panic("parity sink")
 		}
 	}},
 	{"SECDEDDecode", func(b *testing.B) {

@@ -75,6 +75,20 @@ type Cache struct {
 	tavgCount       uint64  // number of such intervals
 	totalGranules   int
 	granuleSizeBits int
+
+	// One-entry probe memo. Every memory instruction probes the same
+	// address twice — once to plan port usage (PlanLoadVictimRead /
+	// PlanStoreRBW), once inside the controller's ensure — and the
+	// coherence layer's lazy sharer reconciliation adds a third. The memo
+	// answers the repeats with a compare instead of a set scan. mut is
+	// bumped by every tag/valid mutation (Install, Invalidate); a stale
+	// memo can therefore never be returned. New seeds mut=1 so the
+	// zero-valued memo (tag 0, set 0, way 0) can never match first.
+	mut      uint64
+	probeMut uint64
+	probeTag uint64
+	probeSet int
+	probeWay int
 }
 
 // arena bundles one geometry's backing arrays (line structs plus the
@@ -135,6 +149,7 @@ func New(cfg Config) *Cache {
 		totalGranules:   cfg.Sets() * cfg.Ways * cfg.Granules(),
 		granuleSizeBits: cfg.DirtyGranuleWords * 64,
 	}
+	c.mut = 1
 	c.setMask = uint64(c.nSets - 1)
 	c.setShift = uint(bits.TrailingZeros64(uint64(c.nSets)))
 	if c.blockBytes&(c.blockBytes-1) == 0 {
@@ -151,8 +166,16 @@ func New(cfg Config) *Cache {
 		if a, _ := p.(*sync.Pool).Get().(*arena); a != nil {
 			c.ar = a
 			c.lines, c.sets, c.tags, c.valids, c.lrus = a.lines, a.sets, a.tags, a.valids, a.lrus
-			for i := range c.lines {
-				c.lines[i].Valid = false
+			// Install/Invalidate keep ln.Valid and the flat valids mirror
+			// in lockstep, so only lines the previous life actually used
+			// need their Valid cleared — a short run through a big level
+			// touches a tiny fraction of it, where the old whole-array
+			// walk dragged the entire line array (tens of MB for an L3)
+			// through the heap per construction.
+			for i, v := range c.valids {
+				if v {
+					c.lines[i].Valid = false
+				}
 			}
 			clear(c.valids)
 			return c
@@ -228,13 +251,25 @@ func (c *Cache) BlockAddr(set, way int) uint64 {
 // Probe looks up addr without changing any state. way is -1 on a miss.
 func (c *Cache) Probe(addr uint64) (set, way int) {
 	tag, s, _ := c.Decompose(addr)
+	return s, c.ProbeTS(tag, s)
+}
+
+// ProbeTS is Probe for a pre-decomposed (tag, set) — callers that already
+// split the address skip a second Decompose.
+func (c *Cache) ProbeTS(tag uint64, s int) (way int) {
+	if c.probeMut == c.mut && c.probeTag == tag && c.probeSet == s {
+		return c.probeWay
+	}
 	row := s * c.nWays
+	way = -1
 	for w := 0; w < c.nWays; w++ {
 		if c.valids[row+w] && c.tags[row+w] == tag {
-			return s, w
+			way = w
+			break
 		}
 	}
-	return s, -1
+	c.probeMut, c.probeTag, c.probeSet, c.probeWay = c.mut, tag, s, way
+	return way
 }
 
 // Line returns the line at (set, way). The pointer stays valid for the
@@ -287,6 +322,7 @@ func (c *Cache) Install(set, way int, addr uint64, data []uint64) {
 	}
 	ln.Tag = tag
 	ln.Valid = true
+	c.mut++
 	c.tags[set*c.nWays+way] = tag
 	c.valids[set*c.nWays+way] = true
 	copy(ln.Data, data)
@@ -305,6 +341,7 @@ func (c *Cache) Invalidate(set, way int) {
 		c.noteDirtyDelta(ln, -1)
 	}
 	ln.Valid = false
+	c.mut++
 	c.valids[set*c.nWays+way] = false
 }
 
@@ -344,8 +381,12 @@ func (c *Cache) MarkClean(set, way, g int) {
 // `word` for Tavg measurement: if the granule is dirty and was accessed
 // before, the interval is accumulated.
 func (c *Cache) TouchDirty(set, way, word int, now uint64) {
-	ln := &c.lines[set*c.nWays+way]
-	g := c.GranuleOf(word)
+	c.TouchDirtyG(&c.lines[set*c.nWays+way], c.GranuleOf(word), now)
+}
+
+// TouchDirtyG is TouchDirty for a caller that already holds the line
+// pointer and granule index.
+func (c *Cache) TouchDirtyG(ln *Line, g int, now uint64) {
 	if !ln.Dirty[g] {
 		return
 	}

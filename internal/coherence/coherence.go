@@ -66,6 +66,37 @@ type Multiprocessor struct {
 	busFree uint64 // first cycle the bus/directory is free again (FCFS)
 
 	blockBytes uint64
+	blockShift uint // log2(blockBytes)
+
+	// Direct-mapped directory memo in front of the map: recently touched
+	// blocks — sequential runs through a 32-byte block, hot-window and
+	// rehit revisits — resolve with one index and compare instead of a
+	// map hash. The memo is write-back: a resident slot is the
+	// authoritative state for its block (the map may lag behind) and is
+	// spilled to the map only when a conflicting block claims the slot,
+	// so the per-access hot path never touches the hash map at all.
+	// Every reader outside the hot path goes through lookup, which
+	// checks the memo before the map.
+	memo [dirMemoSize]dirMemoSlot
+}
+
+// dirMemoSize is the direct-mapped memo's slot count (power of two).
+const dirMemoSize = 4096
+
+// memoIdx hashes a block address to its memo slot. The low block-index
+// bits alone would alias a block's shared copy with every core's private
+// copy: per-core regions sit at 1MB strides (multiples of 32768 blocks,
+// ≡ 0 mod dirMemoSize), so XOR-folding the region bits back in is what
+// keeps the copies in distinct slots.
+func (m *Multiprocessor) memoIdx(b uint64) uint64 {
+	x := b >> m.blockShift
+	return (x ^ x>>12) & (dirMemoSize - 1)
+}
+
+type dirMemoSlot struct {
+	b     uint64
+	e     dirEntry
+	valid bool
 }
 
 // dirPool recycles directory maps across Multiprocessor lifetimes:
@@ -89,6 +120,7 @@ func New(n int, l1cfg, l2cfg cache.Config, mkL1, mkL2 SchemeFactory, memLatency 
 		L2: l2, Mem: mem,
 		dir:        dirPool.Get().(map[uint64]dirEntry),
 		blockBytes: uint64(l1cfg.BlockBytes),
+		blockShift: uint(bits.TrailingZeros64(uint64(l1cfg.BlockBytes))),
 	}
 	for i := 0; i < n; i++ {
 		c := cache.New(l1cfg)
@@ -120,11 +152,34 @@ func (m *Multiprocessor) Release() {
 // the caller writes the mutated entry back with commit).
 func (m *Multiprocessor) entry(addr uint64) (uint64, dirEntry) {
 	b := m.block(addr)
+	if s := &m.memo[m.memoIdx(b)]; s.valid && s.b == b {
+		return b, s.e
+	}
 	e, ok := m.dir[b]
 	if !ok {
 		e = dirEntry{owner: -1}
 	}
 	return b, e
+}
+
+// commit publishes a block's (possibly mutated) directory state into
+// its memo slot, spilling a displaced block's state to the map.
+func (m *Multiprocessor) commit(b uint64, e dirEntry) {
+	s := &m.memo[m.memoIdx(b)]
+	if s.valid && s.b != b {
+		m.dir[s.b] = s.e
+	}
+	s.b, s.e, s.valid = b, e, true
+}
+
+// lookup returns block b's directory state, memo-first (the checker and
+// peek paths, which must see the authoritative write-back state).
+func (m *Multiprocessor) lookup(b uint64) (dirEntry, bool) {
+	if s := &m.memo[m.memoIdx(b)]; s.valid && s.b == b {
+		return s.e, true
+	}
+	e, ok := m.dir[b]
+	return e, ok
 }
 
 // noteEvictions reconciles the directory with silent L1 replacements: a
@@ -162,6 +217,17 @@ func (m *Multiprocessor) Write(core int, addr, val, now uint64) protect.AccessRe
 // cycles on top of the local hierarchy's latency.
 func (m *Multiprocessor) ReadInto(core int, addr, now uint64, res *protect.AccessResult) {
 	b, e := m.entry(addr)
+	// Pure local hit: the requester is already a sharer and its copy is
+	// still resident, so no protocol event can fire and the entry cannot
+	// change (reconcile only clears bits for silently evicted copies,
+	// and every consumer of the sharer bits reconciles again before
+	// using them — the cleanup is safely deferred).
+	if e.sharers&(1<<core) != 0 {
+		if set, way := m.L1s[core].C.Probe(addr); way >= 0 {
+			m.L1s[core].LoadResidentInto(set, way, addr, now, res)
+			return
+		}
+	}
 	m.reconcile(&e, addr)
 	extra := 0
 	if e.sharers&(1<<core) == 0 {
@@ -179,7 +245,7 @@ func (m *Multiprocessor) ReadInto(core int, addr, now uint64, res *protect.Acces
 	m.L1s[core].LoadInto(addr, now+uint64(extra), res)
 	res.Latency += extra
 	e.sharers |= 1 << core
-	m.dir[b] = e
+	m.commit(b, e)
 }
 
 // WriteInto performs a store by `core` at addr. With a non-zero Timing
@@ -187,6 +253,15 @@ func (m *Multiprocessor) ReadInto(core int, addr, now uint64, res *protect.Acces
 // and owner-writeback cycles on top of the local hierarchy's latency.
 func (m *Multiprocessor) WriteInto(core int, addr, val, now uint64, res *protect.AccessResult) {
 	b, e := m.entry(addr)
+	// Pure local hit: the requester already owns the block Modified and
+	// its copy is resident. Ownership implies it was the only sharer, so
+	// no invalidation, bus transaction or entry mutation can occur.
+	if int(e.owner) == core {
+		if set, way := m.L1s[core].C.Probe(addr); way >= 0 {
+			m.L1s[core].StoreResidentInto(set, way, addr, val, now, res)
+			return
+		}
+	}
 	m.reconcile(&e, addr)
 	extra := 0
 	if int(e.owner) != core {
@@ -210,7 +285,7 @@ func (m *Multiprocessor) WriteInto(core int, addr, val, now uint64, res *protect
 	m.L1s[core].StoreInto(addr, val, now+uint64(extra), res)
 	res.Latency += extra
 	e.sharers |= 1 << core
-	m.dir[b] = e
+	m.commit(b, e)
 }
 
 // CheckCoherent verifies the single-writer/multi-reader invariant: at
@@ -231,7 +306,7 @@ func (m *Multiprocessor) CheckCoherent() error {
 		if len(hs) > 1 {
 			return fmt.Errorf("coherence: block %#x dirty in %d caches", b, len(hs))
 		}
-		if e, ok := m.dir[b]; ok && int(e.owner) != hs[0].core {
+		if e, ok := m.lookup(b); ok && int(e.owner) != hs[0].core {
 			return fmt.Errorf("coherence: block %#x dirty in core %d but owner is %d",
 				b, hs[0].core, e.owner)
 		}

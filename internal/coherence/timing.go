@@ -73,6 +73,12 @@ func (p CorePort) PlanLoadMiss(addr uint64) int      { return p.m.L1s[p.core].Pl
 func (p CorePort) HitLatency() int                   { return p.m.L1s[p.core].C.Cfg.HitLatencyCycles }
 func (p CorePort) Halted() bool                      { return p.m.L1s[p.core].Halted || p.m.L2.Halted }
 
+// PrivateHierarchy is false by construction: every access walks the
+// shared directory and may invalidate or flush another core's L1, so a
+// parallel cpu.Cluster must keep CorePort execution serialized in core
+// order (only trace generation fans out). See cpu.PrivateMemory.
+func (p CorePort) PrivateHierarchy() bool { return false }
+
 // ResetStats clears every counter after warm-up so a measurement window
 // starts clean. Bus reservations are cycle-absolute and deliberately not
 // reset.
@@ -91,7 +97,7 @@ func (m *Multiprocessor) ResetStats() {
 // perturbing any cache state: the owner's dirty copy wins, then any clean
 // L1 copy, then the L2, then memory. Checker use only.
 func (m *Multiprocessor) PeekWord(addr uint64) uint64 {
-	if e, ok := m.dir[m.block(addr)]; ok && e.owner >= 0 {
+	if e, ok := m.lookup(m.block(addr)); ok && e.owner >= 0 {
 		if v, ok := m.L1s[e.owner].C.PeekWord(addr); ok {
 			return v
 		}

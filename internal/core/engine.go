@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"cppc/internal/bitops"
 	"cppc/internal/cache"
@@ -49,6 +50,51 @@ type Engine struct {
 	Events Events
 }
 
+// geomTabs is one immutable set of precomputed geometry tables. The
+// tables are a pure function of the cache configuration (which fully
+// determines the physical layout) and the engine configuration, and
+// engines only ever read them — so they are built once per distinct
+// (cache.Config, core.Config) and shared across every engine of that
+// shape. Cell sweeps construct thousands of same-shaped engines; the
+// ~100KB L2 table walk was a measurable slice of cell construction.
+type geomTabs struct {
+	class, pair, rot []uint8
+}
+
+var geomTabCache sync.Map // struct{cache.Config; Config} -> *geomTabs
+
+func geomTabsFor(c *cache.Cache, cfg Config, granules int) *geomTabs {
+	type key struct {
+		cc cache.Config
+		ec Config
+	}
+	k := key{c.Cfg, cfg}
+	if t, ok := geomTabCache.Load(k); ok {
+		return t.(*geomTabs)
+	}
+	g := c.Cfg.DirtyGranuleWords
+	t := &geomTabs{
+		class: make([]uint8, c.Sets()*c.Ways()*granules),
+		pair:  make([]uint8, c.Sets()*c.Ways()*granules),
+		rot:   make([]uint8, c.Sets()*c.Ways()*granules),
+	}
+	for set := 0; set < c.Sets(); set++ {
+		for way := 0; way < c.Ways(); way++ {
+			for gi := 0; gi < granules; gi++ {
+				class := c.Geom.ClassOf(set, way, gi*g)
+				i := (set*c.Ways()+way)*granules + gi
+				t.class[i] = uint8(class)
+				t.pair[i] = uint8(cfg.PairOf(class))
+				t.rot[i] = uint8(cfg.RotationOf(class))
+			}
+		}
+	}
+	// Concurrent builders race benignly: the content is identical, and
+	// LoadOrStore keeps exactly one copy resident.
+	actual, _ := geomTabCache.LoadOrStore(k, t)
+	return actual.(*geomTabs)
+}
+
 // New attaches a CPPC engine to c. The register width follows the cache's
 // dirty granularity: one word for an L1 CPPC, one L1 block for an L2 CPPC
 // (Sec. 3.5).
@@ -64,20 +110,8 @@ func New(c *cache.Cache, cfg Config) (*Engine, error) {
 		e.r1[p] = make([]uint64, g)
 		e.r2[p] = make([]uint64, g)
 	}
-	e.classTab = make([]uint8, c.Sets()*c.Ways()*e.granules)
-	e.pairTab = make([]uint8, len(e.classTab))
-	e.rotTab = make([]uint8, len(e.classTab))
-	for set := 0; set < c.Sets(); set++ {
-		for way := 0; way < c.Ways(); way++ {
-			for gi := 0; gi < e.granules; gi++ {
-				class := c.Geom.ClassOf(set, way, gi*g)
-				i := (set*c.Ways()+way)*e.granules + gi
-				e.classTab[i] = uint8(class)
-				e.pairTab[i] = uint8(cfg.PairOf(class))
-				e.rotTab[i] = uint8(cfg.RotationOf(class))
-			}
-		}
-	}
+	tabs := geomTabsFor(c, cfg, e.granules)
+	e.classTab, e.pairTab, e.rotTab = tabs.class, tabs.pair, tabs.rot
 	return e, nil
 }
 
@@ -152,14 +186,13 @@ func unfold(reg []uint64, rot int) []uint64 {
 // degree, across all words of the granule. Parity is linear, so the words
 // are XORed together first and a single SWAR fold finishes the job.
 func (e *Engine) GranuleParity(data []uint64) uint64 {
-	var x uint64
-	for _, w := range data {
-		x ^= w
+	// Single-word granules (the L1 register width) skip the line fold:
+	// Parity8 inlines into the verify hot path, and the fold of a
+	// one-word line is the word itself.
+	if len(data) == 1 && e.Cfg.ParityDegree == 8 {
+		return bitops.Parity8(data[0])
 	}
-	if e.Cfg.ParityDegree == 8 {
-		return bitops.Parity8(x)
-	}
-	return bitops.Parity(x, e.Cfg.ParityDegree)
+	return bitops.FoldLineParity(data, e.Cfg.ParityDegree)
 }
 
 // EncodeCheck recomputes and stores the parity bits for granule g.
@@ -172,13 +205,43 @@ func (e *Engine) EncodeCheck(set, way, g int) {
 // disagreeing stripes (0 = clean).
 func (e *Engine) CheckSyndrome(set, way, g int) uint64 {
 	ln := e.C.Line(set, way)
+	// Single-word granule at the default degree: one SWAR fold, no
+	// slice arithmetic (the per-load verify hot path).
+	if e.granuleWords == 1 && e.Cfg.ParityDegree == 8 {
+		return ln.Check[g] ^ bitops.Parity8(ln.Data[g])
+	}
 	return ln.Check[g*e.granuleWords] ^ e.GranuleParity(e.GranuleData(ln, g))
+}
+
+// LineSyndromeOr ORs every granule's syndrome in one pass; zero means
+// the whole line verifies clean. One bounds-predictable loop with no
+// per-granule dispatch — the bulk path behind a clean block fetch.
+func (e *Engine) LineSyndromeOr(set, way int) uint64 {
+	ln := e.C.Line(set, way)
+	var or uint64
+	if e.granuleWords == 1 && e.Cfg.ParityDegree == 8 {
+		for g := 0; g < e.granules; g++ {
+			or |= ln.Check[g] ^ bitops.Parity8(ln.Data[g])
+		}
+		return or
+	}
+	for g := 0; g < e.granules; g++ {
+		or |= ln.Check[g*e.granuleWords] ^ e.GranuleParity(e.GranuleData(ln, g))
+	}
+	return or
 }
 
 // OnFill encodes check bits for a freshly installed (clean) block.
 func (e *Engine) OnFill(set, way int) {
-	for g := 0; g < e.C.Cfg.Granules(); g++ {
-		e.EncodeCheck(set, way, g)
+	ln := e.C.Line(set, way)
+	if e.granuleWords == 1 && e.Cfg.ParityDegree == 8 {
+		for g := 0; g < e.granules; g++ {
+			ln.Check[g] = bitops.Parity8(ln.Data[g])
+		}
+		return
+	}
+	for g := 0; g < e.granules; g++ {
+		ln.Check[g*e.granuleWords] = e.GranuleParity(e.GranuleData(ln, g))
 	}
 }
 
@@ -209,10 +272,7 @@ func (e *Engine) OnStore(set, way, g int, old []uint64, wasDirty, oldVerified bo
 	}
 	e.C.MarkDirty(set, way, g*e.granuleWords, now)
 	if oldVerified && old != nil {
-		var delta uint64
-		for j, w := range data {
-			delta ^= old[j] ^ w
-		}
+		delta := bitops.FoldLineDelta(old, data)
 		if e.Cfg.ParityDegree == 8 {
 			ln.Check[g*e.granuleWords] ^= bitops.Parity8(delta)
 		} else {

@@ -74,13 +74,21 @@ func opLatency(op trace.Op) int {
 }
 
 // fuPool models k identical units by tracking each unit's next-free cycle.
-type fuPool struct{ free []uint64 }
+// The free list is a fixed inline array so the pools sit on the Core's own
+// hot cache lines instead of the ring arena (Table 1's largest pool is 4
+// units; fuPoolMax leaves headroom for ablations).
+type fuPool struct {
+	free [fuPoolMax]uint64
+	n    int
+}
+
+const fuPoolMax = 8
 
 // acquire reserves the earliest-available unit at or after t for d cycles,
 // returning the start cycle.
 func (p *fuPool) acquire(t uint64, d int) uint64 {
 	best := 0
-	for i := 1; i < len(p.free); i++ {
+	for i := 1; i < p.n; i++ {
 		if p.free[i] < p.free[best] {
 			best = i
 		}
@@ -168,13 +176,9 @@ type Core struct {
 	// Table 1 sizes all are); 0 selects the modulo fallback. The ring
 	// lengths are not compile-time constants, so i%len would be a real
 	// division on every instruction.
-	doneMask, ruuMask, lsqMask uint64
-	// ruuRing[i % RUUSize] is the completion time of instruction i; a new
-	// instruction cannot dispatch until the instruction RUUSize back has
-	// completed (in-order commit pressure).
-	ruuRing []uint64
-	lsqRing []uint64
-	memIdx  uint64 // count of memory instructions (LSQ ring index)
+	doneMask, lsqMask uint64
+	lsqRing           []uint64
+	memIdx            uint64 // count of memory instructions (LSQ ring index)
 
 	fetchReady uint64 // earliest fetch cycle for the next instruction
 	slot       int    // issue slots used in the current fetch cycle
@@ -193,6 +197,7 @@ type Core struct {
 	regionBase uint64 // current hot function's entry
 	lastIBlock uint64
 	lcg        uint64 // deterministic branch-target scrambler
+	icAccess   bool   // this instruction touched the I-cache (new block)
 
 	// Batched instruction consumption (see RunCtx): the buffer lives on the
 	// core so instructions drawn but not executed (a run that halts
@@ -208,9 +213,25 @@ func NewCore(cfg Config, d *protect.Controller) *Core {
 	return NewCoreWithPort(cfg, ControllerPort{Ctrl: d})
 }
 
-// doneRingSize is the dependency-tracking ring: producer distances are
-// bounded well below it.
-const doneRingSize = 4096
+// doneRingMin is the floor for the dependency-tracking ring. Producer
+// distances are bounded well below it: trace generation draws Dep1 ≤
+// DepDistance and Dep2 ≤ 2·DepDistance, and the largest profile
+// DepDistance is 16, so no dependency reaches past 33 instructions. 128
+// entries (1KB) keep the ring resident in the host L1 cache, where the
+// previous 4096-entry ring (32KB per core) thrashed it.
+const doneRingMin = 128
+
+// doneRingLen sizes the done ring: a power of two strictly larger than
+// RUUSize, so the RUU occupancy check can read instruction i-RUUSize's
+// completion time straight out of the done ring (entry not yet
+// overwritten) and the core needs no separate RUU ring.
+func doneRingLen(cfg Config) int {
+	n := doneRingMin
+	for n <= cfg.RUUSize {
+		n <<= 1
+	}
+	return n
+}
 
 // coreArena is one core's pooled scratch: a single uint64 backing array
 // carved into the rings and functional-unit free lists, plus the trace
@@ -224,8 +245,7 @@ type coreArena struct {
 var coreArenas sync.Map // Config -> *sync.Pool of *coreArena
 
 func arenaWords(cfg Config) int {
-	return doneRingSize + cfg.RUUSize + cfg.LSQSize +
-		cfg.IntALU + cfg.IntMul + cfg.FPALU + cfg.FPMul
+	return doneRingLen(cfg) + cfg.LSQSize
 }
 
 // NewCoreWithPort wires a core to any MemoryPort implementation.
@@ -238,7 +258,7 @@ func NewCoreWithPort(cfg Config, mem MemoryPort) *Core {
 	}
 	c := &Core{
 		Cfg: cfg, Mem: mem, hitLat: mem.HitLatency(),
-		doneMask: ringMask(doneRingSize), ruuMask: ringMask(cfg.RUUSize), lsqMask: ringMask(cfg.LSQSize),
+		doneMask: ringMask(doneRingLen(cfg)), lsqMask: ringMask(cfg.LSQSize),
 		rp: port{cap: 2}, // a small store buffer absorbs stolen reads
 		wp: port{cap: 8},
 	}
@@ -264,13 +284,17 @@ func NewCoreWithPort(cfg Config, mem MemoryPort) *Core {
 		w = w[n:]
 		return s
 	}
-	c.done = carve(doneRingSize)
-	c.ruuRing = carve(cfg.RUUSize)
+	c.done = carve(doneRingLen(cfg))
 	c.lsqRing = carve(cfg.LSQSize)
-	c.intALU.free = carve(cfg.IntALU)
-	c.intMul.free = carve(cfg.IntMul)
-	c.fpALU.free = carve(cfg.FPALU)
-	c.fpMul.free = carve(cfg.FPMul)
+	for _, p := range []struct {
+		pool *fuPool
+		n    int
+	}{{&c.intALU, cfg.IntALU}, {&c.intMul, cfg.IntMul}, {&c.fpALU, cfg.FPALU}, {&c.fpMul, cfg.FPMul}} {
+		if p.n > fuPoolMax {
+			panic("cpu: functional-unit pool exceeds fuPoolMax")
+		}
+		p.pool.n = p.n
+	}
 	c.arena = a
 	c.srcBuf = a.srcBuf
 	return c
@@ -285,8 +309,7 @@ func (c *Core) Release() {
 	p, _ := coreArenas.LoadOrStore(c.Cfg, new(sync.Pool))
 	p.(*sync.Pool).Put(c.arena)
 	c.arena, c.srcBuf = nil, nil
-	c.done, c.ruuRing, c.lsqRing = nil, nil, nil
-	c.intALU.free, c.intMul.free, c.fpALU.free, c.fpMul.free = nil, nil, nil, nil
+	c.done, c.lsqRing = nil, nil
 }
 
 // Run executes n instructions from src (a synthetic generator or a
@@ -303,13 +326,6 @@ func (c *Core) doneIdx(i uint64) uint64 {
 		return i & c.doneMask
 	}
 	return i % uint64(len(c.done))
-}
-
-func (c *Core) ruuIdx(i uint64) uint64 {
-	if c.ruuMask != 0 {
-		return i & c.ruuMask
-	}
-	return i % uint64(len(c.ruuRing))
 }
 
 func (c *Core) lsqIdx(i uint64) uint64 {
@@ -350,7 +366,7 @@ func (c *Core) RunCtx(ctx context.Context, src trace.Source, n int) (Result, err
 				break
 			}
 		}
-		var in trace.Instr
+		var in *trace.Instr
 		if bs != nil {
 			if c.srcPos == c.srcLen {
 				want := uint64(len(c.srcBuf))
@@ -360,19 +376,26 @@ func (c *Core) RunCtx(ctx context.Context, src trace.Source, n int) (Result, err
 				c.srcLen = bs.NextBatch(c.srcBuf[:want])
 				c.srcPos = 0
 			}
-			in = c.srcBuf[c.srcPos]
+			in = &c.srcBuf[c.srcPos]
 			c.srcPos++
 		} else {
-			in = src.Next()
+			c.srcBuf[0] = src.Next()
+			in = &c.srcBuf[0]
 		}
+		c.icAccess = false
 		t := c.dispatch(i, in)
 		done := c.execute(i, in, t, &res)
 		c.done[c.doneIdx(i)] = done
-		c.ruuRing[c.ruuIdx(i)] = done
 		if done > lastDone {
 			lastDone = done
 		}
-		if c.Mem.Halted() {
+		// Halted can only flip inside a memory interaction — LoadInto,
+		// StoreInto, or an I-cache refill (the planning probes never run
+		// the fault checker) — so after a pure ALU/branch instruction the
+		// poll would re-read the state already checked at the previous
+		// memory instruction. Skipping it there breaks at the exact same
+		// instruction the per-instruction poll would.
+		if (in.Op == trace.OpLoad || in.Op == trace.OpStore || c.icAccess) && c.Mem.Halted() {
 			// The halting instruction itself executed (it raised the DUE);
 			// everything after it did not. Leaving executed at n here would
 			// overstate instructions and understate CPI in every
@@ -390,6 +413,35 @@ func (c *Core) RunCtx(ctx context.Context, src trace.Source, n int) (Result, err
 	return res, err
 }
 
+// prefill draws into the refill buffer exactly the instructions the next
+// RunCtx(src, n) call on this core would draw, so the generator work can
+// run on another goroutine before a lock-step quantum while execution
+// stays serialized. It replicates RunCtx's demand: a changed source
+// resets the buffer, leftovers are compacted to the front and kept, and
+// only the missing tail is drawn. Cases the buffer cannot cover (a
+// non-batch source, or n beyond the buffer) are left for RunCtx to draw
+// inline as before. Either way the source observes the same demand-driven
+// draw sequence, so results are bit-identical.
+func (c *Core) prefill(src trace.Source, n int) {
+	bs, ok := src.(trace.BatchSource)
+	if !ok || n > len(c.srcBuf) {
+		return
+	}
+	if src != c.srcBufSrc {
+		c.srcBufSrc = src
+		c.srcPos, c.srcLen = 0, 0
+	}
+	left := c.srcLen - c.srcPos
+	if left >= n {
+		return
+	}
+	if left > 0 && c.srcPos > 0 {
+		copy(c.srcBuf, c.srcBuf[c.srcPos:c.srcLen])
+	}
+	c.srcPos, c.srcLen = 0, left
+	c.srcLen += bs.NextBatch(c.srcBuf[left:n])
+}
+
 // SetICache attaches an instruction cache to the front end. codeBytes is
 // the static code footprint branch targets scatter over.
 func (c *Core) SetICache(ic *protect.Controller, codeBytes int) {
@@ -401,7 +453,7 @@ func (c *Core) SetICache(ic *protect.Controller, codeBytes int) {
 
 // fetchInstruction models the instruction-side access for one dynamic
 // instruction and charges any I-miss latency to the front end.
-func (c *Core) fetchInstruction(in trace.Instr) {
+func (c *Core) fetchInstruction(in *trace.Instr) {
 	if c.ic == nil {
 		return
 	}
@@ -434,6 +486,7 @@ func (c *Core) fetchInstruction(in trace.Instr) {
 		return
 	}
 	c.lastIBlock = iblock
+	c.icAccess = true
 	res := c.ic.Load(iblock, c.fetchReady)
 	if !res.Hit {
 		// The front end stalls for the refill.
@@ -444,7 +497,7 @@ func (c *Core) fetchInstruction(in trace.Instr) {
 
 // dispatch computes the cycle at which instruction i can begin execution,
 // honoring fetch width, RUU/LSQ occupancy and data dependencies.
-func (c *Core) dispatch(i uint64, in trace.Instr) uint64 {
+func (c *Core) dispatch(i uint64, in *trace.Instr) uint64 {
 	c.fetchInstruction(in)
 	// Fetch-width constraint: IssueWidth instructions per cycle.
 	if c.slot == c.Cfg.IssueWidth {
@@ -454,9 +507,11 @@ func (c *Core) dispatch(i uint64, in trace.Instr) uint64 {
 	c.slot++
 	t := c.fetchReady
 
-	// RUU occupancy: the slot of instruction i-RUUSize must have drained.
-	if i >= uint64(len(c.ruuRing)) {
-		if d := c.ruuRing[c.ruuIdx(i)]; d > t {
+	// RUU occupancy: instruction i-RUUSize must have drained. Its
+	// completion time is still live in the done ring (the ring is sized
+	// strictly larger than RUUSize), so no separate RUU ring is needed.
+	if ruu := uint64(c.Cfg.RUUSize); i >= ruu {
+		if d := c.done[c.doneIdx(i-ruu)]; d > t {
 			t = d
 		}
 	}
@@ -483,7 +538,7 @@ func (c *Core) dispatch(i uint64, in trace.Instr) uint64 {
 }
 
 // execute models the execute/memory stage and returns completion time.
-func (c *Core) execute(i uint64, in trace.Instr, t uint64, res *Result) uint64 {
+func (c *Core) execute(i uint64, in *trace.Instr, t uint64, res *Result) uint64 {
 	var done uint64
 	switch in.Op {
 	case trace.OpLoad:

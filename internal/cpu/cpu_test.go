@@ -30,13 +30,13 @@ func TestTable1Config(t *testing.T) {
 }
 
 func TestFuPoolSerializesOnSingleUnit(t *testing.T) {
-	p := fuPool{free: make([]uint64, 1)}
+	p := fuPool{n: 1}
 	a := p.acquire(0, 3)
 	b := p.acquire(0, 3)
 	if a != 0 || b != 3 {
 		t.Errorf("single unit: a=%d b=%d", a, b)
 	}
-	p2 := fuPool{free: make([]uint64, 2)}
+	p2 := fuPool{n: 2}
 	a2 := p2.acquire(0, 3)
 	b2 := p2.acquire(0, 3)
 	if a2 != 0 || b2 != 0 {

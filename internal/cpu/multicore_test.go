@@ -1,0 +1,126 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"cppc/internal/core"
+	"cppc/internal/trace"
+)
+
+// buildPrivateCluster assembles n cores, each over its own Table 1
+// stack (a private hierarchy: the parallel path may execute whole
+// quanta concurrently), with per-core deterministic trace streams.
+func buildPrivateCluster(t *testing.T, n int) (*Cluster, []*System) {
+	t.Helper()
+	prof := gzipProfile()
+	ports := make([]MemoryPort, n)
+	srcs := make([]trace.Source, n)
+	systems := make([]*System, n)
+	for i := 0; i < n; i++ {
+		sys := NewSystem(CPPCFactory(core.DefaultL1Config()), Parity1DFactory())
+		systems[i] = sys
+		ports[i] = sys.Port()
+		srcs[i] = prof.NewGen(7 + int64(i))
+	}
+	cl, err := NewCluster(Table1Config(), ports, srcs)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return cl, systems
+}
+
+// TestClusterParallelBitIdentical is the race-job determinism gate: a
+// parallel Cluster run must be bit-identical to the serial path — same
+// MulticoreResult, same final hierarchy state — for N ∈ {1, 2, 4} cores
+// and several worker counts. CI runs this under -race with GOMAXPROCS 1
+// (serial fallback scheduling) and 4 (true concurrency).
+func TestClusterParallelBitIdentical(t *testing.T) {
+	const instrs, quantum = 6_000, 0
+	for _, n := range []int{1, 2, 4} {
+		serial, serialSys := buildPrivateCluster(t, n)
+		serialRes := serial.Run(instrs, quantum)
+		serialStats := make([]interface{}, n)
+		for i, sys := range serialSys {
+			serialStats[i] = sys.L1().Stats
+		}
+
+		for _, workers := range []int{2, 4, 7} {
+			par, parSys := buildPrivateCluster(t, n)
+			par.SetWorkers(workers)
+			parRes := par.Run(instrs, quantum)
+			if !reflect.DeepEqual(serialRes, parRes) {
+				t.Errorf("cores=%d workers=%d: parallel result diverged\nserial:   %+v\nparallel: %+v",
+					n, workers, serialRes, parRes)
+			}
+			for i, sys := range parSys {
+				if !reflect.DeepEqual(serialStats[i], sys.L1().Stats) {
+					t.Errorf("cores=%d workers=%d: core %d L1 stats diverged\nserial:   %+v\nparallel: %+v",
+						n, workers, i, serialStats[i], sys.L1().Stats)
+				}
+				sys.Release()
+			}
+			par.Release()
+		}
+		for _, sys := range serialSys {
+			sys.Release()
+		}
+		serial.Release()
+	}
+}
+
+// TestClusterPrefillExactDemand pins the prefill contract on its edge
+// cases: leftovers in the refill buffer (a halted run), a changed
+// source, and a demand beyond the buffer must all leave the core's draw
+// sequence identical to the unprefilled path.
+func TestClusterPrefillExactDemand(t *testing.T) {
+	prof := gzipProfile()
+
+	// Reference: draw 600 instructions straight off a fresh generator.
+	ref := make([]trace.Instr, 600)
+	g := prof.NewGen(3)
+	for i := range ref {
+		ref[i] = g.Next()
+	}
+
+	sys := NewSystem(Parity1DFactory(), Parity1DFactory())
+	defer sys.Release()
+	c := NewCoreWithPort(Table1Config(), sys.Port())
+	defer c.Release()
+	src := prof.NewGen(3)
+
+	check := func(stage string, want []trace.Instr) {
+		got := c.srcBuf[c.srcPos:c.srcLen]
+		if len(got) != len(want) {
+			t.Fatalf("%s: buffered %d instrs, want %d", stage, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: buffered instr %d = %+v, want %+v", stage, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Fresh source: prefill(256) draws exactly the first quantum.
+	c.prefill(src, 256)
+	check("fresh", ref[:256])
+
+	// Re-prefill with the buffer already full: no further draws.
+	c.prefill(src, 256)
+	check("idempotent", ref[:256])
+
+	// Consume 200 by hand (simulating a partial run), then prefill a full
+	// quantum: leftovers compact, only the missing tail is drawn.
+	c.srcPos += 200
+	c.prefill(src, 256)
+	check("leftovers", ref[200:456])
+
+	// Demand beyond the buffer: prefill declines, buffer untouched.
+	c.prefill(src, 1024)
+	check("oversized", ref[200:456])
+
+	// A changed source resets the buffer and draws from the new stream.
+	src2 := prof.NewGen(3)
+	c.prefill(src2, 100)
+	check("new source", ref[:100])
+}

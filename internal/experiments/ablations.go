@@ -25,7 +25,7 @@ func SinglePortAblation(b Budget) (string, error) {
 		cfg := cpu.Table1Config()
 		cfg.SinglePorted = single
 		c := cpu.NewCoreWithPort(cfg, sys.Port())
-		gen := p.NewGen(b.Seed)
+		gen := p.NewMemoGen(b.Seed)
 		w := c.Run(gen, b.Warmup)
 		m := c.Run(gen, b.Measure)
 		return float64(m.Cycles-w.Cycles) / float64(m.Instructions)
@@ -77,7 +77,7 @@ func EarlyWritebackAblation(accesses int, seed int64) (string, error) {
 		ct.SetSampleInterval(64)
 		ct.SetEarlyWriteback(interval, 8)
 
-		gen := p.NewGen(seed)
+		gen := p.NewMemoGen(seed)
 		var now uint64
 		for i := 0; i < accesses; {
 			in := gen.Next()
@@ -127,7 +127,7 @@ func ICacheAblation(b Budget) (string, error) {
 			if withIC {
 				c.SetICache(sys.L1I, 64<<10)
 			}
-			gen := p.NewGen(b.Seed)
+			gen := p.NewMemoGen(b.Seed)
 			w := c.Run(gen, b.Warmup)
 			m := c.Run(gen, b.Measure)
 			return float64(m.Cycles-w.Cycles) / float64(m.Instructions), sys.L1I.Stats.MissRate()

@@ -89,7 +89,7 @@ func Simulate(prof trace.Profile, id SchemeID, b Budget) Run {
 // polled inside the instruction loop, so even a multi-million-instruction
 // cell aborts promptly.
 func SimulateCtx(ctx context.Context, prof trace.Profile, id SchemeID, b Budget) (Run, error) {
-	return SimulateSourceCtx(ctx, prof.Name, prof.NewGen(b.Seed), id, b)
+	return SimulateSourceCtx(ctx, prof.Name, prof.NewMemoGen(b.Seed), id, b)
 }
 
 // SimulateSource is Simulate over any instruction source, e.g. a recorded

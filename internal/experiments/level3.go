@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"cppc/internal/cache"
 	"cppc/internal/core"
@@ -64,7 +65,7 @@ func L3Cell(ctx context.Context, p trace.Profile, b Budget) (L3Run, error) {
 			cpu.Level{Cfg: cache.L3Config(), Scheme: l3f},
 		)
 		defer sys.Release()
-		res, err := cpu.RunSourceWarmCtx(ctx, p.NewGen(b.Seed), b.Warmup, b.Measure, sys)
+		res, err := cpu.RunSourceWarmCtx(ctx, p.NewMemoGen(b.Seed), b.Warmup, b.Measure, sys)
 		if err != nil {
 			return out{}, err
 		}
@@ -77,18 +78,37 @@ func L3Cell(ctx context.Context, p trace.Profile, b Budget) (L3Run, error) {
 		return o, nil
 	}
 
-	par, err := run(0)
-	if err != nil {
-		return L3Run{}, err
+	// The three placements are fully independent simulations (own stack,
+	// own generator from the same seed), so with idle pool workers they
+	// fan out; results are merged in the fixed (parity, L3, L2) order
+	// either way, keeping the cell bit-identical to the serial path.
+	outs := make([]out, 3)
+	errs := make([]error, 3)
+	wheres := [3]int{0, 3, 2}
+	if workers := CellWorkers(ctx); workers >= 2 {
+		var wg sync.WaitGroup
+		for i, where := range wheres {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				outs[i], errs[i] = run(where)
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, where := range wheres {
+			outs[i], errs[i] = run(where)
+			if errs[i] != nil {
+				break
+			}
+		}
 	}
-	cp3, err := run(3)
-	if err != nil {
-		return L3Run{}, err
+	for _, err := range errs {
+		if err != nil {
+			return L3Run{}, err
+		}
 	}
-	cp2, err := run(2)
-	if err != nil {
-		return L3Run{}, err
-	}
+	par, cp3, cp2 := outs[0], outs[1], outs[2]
 
 	model := energy.New(cache.L3Config(), 8, 1)
 	ePar := energy.Count(par.l3, model, 4, 0)

@@ -85,6 +85,9 @@ func MulticoreCellCtx(ctx context.Context, prof trace.Profile, cores int, shared
 		return MulticoreRun{}, err
 	}
 	defer cl.Release()
+	// Idle-pool-worker hint: per-core trace generation fans out, coherence
+	// stays serialized in core order; results are bit-identical either way.
+	cl.SetWorkers(CellWorkers(ctx))
 	warm, err := cl.RunCtx(ctx, b.Warmup, 0)
 	if err != nil {
 		return MulticoreRun{}, err

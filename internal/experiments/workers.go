@@ -1,0 +1,30 @@
+package experiments
+
+import "context"
+
+// The intra-cell parallelism hint rides on the context rather than on
+// Budget or the cell parameters: it is a wall-clock knob, never part of
+// a cell's identity. Cell results (and therefore the content-addressed
+// cell cache keys derived from the parameters) are bit-identical
+// whatever the hint says — the scheduler sizes it from transient facts
+// like idle pool workers.
+
+type cellWorkersKey struct{}
+
+// WithCellWorkers returns a context carrying an intra-cell parallelism
+// hint of n goroutines. n < 2 carries nothing (serial).
+func WithCellWorkers(ctx context.Context, n int) context.Context {
+	if n < 2 {
+		return ctx
+	}
+	return context.WithValue(ctx, cellWorkersKey{}, n)
+}
+
+// CellWorkers returns the intra-cell parallelism hint carried by ctx,
+// or 1 when the context carries none.
+func CellWorkers(ctx context.Context) int {
+	if n, ok := ctx.Value(cellWorkersKey{}).(int); ok && n > 1 {
+		return n
+	}
+	return 1
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"cppc/internal/trace"
+)
+
+// TestMulticoreCellWorkersBitIdentical checks the shared-hierarchy side
+// of the parallel cluster: a coherence cell run with an intra-cell
+// worker hint must produce exactly the serial result (the hint may only
+// move trace generation off the execution goroutine; every coherence and
+// bus interaction stays in core order).
+func TestMulticoreCellWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed multicore simulation")
+	}
+	p, ok := trace.ProfileByName("gzip")
+	if !ok {
+		t.Fatal("gzip profile missing")
+	}
+	b := Budget{Warmup: 5_000, Measure: 15_000, Seed: 9}
+	for _, cores := range []int{1, 2, 4} {
+		serial, err := MulticoreCellCtx(context.Background(), p, cores, 0.5, b)
+		if err != nil {
+			t.Fatalf("cores=%d serial: %v", cores, err)
+		}
+		for _, workers := range []int{2, 4} {
+			ctx := WithCellWorkers(context.Background(), workers)
+			par, err := MulticoreCellCtx(ctx, p, cores, 0.5, b)
+			if err != nil {
+				t.Fatalf("cores=%d workers=%d: %v", cores, workers, err)
+			}
+			if par != serial {
+				t.Errorf("cores=%d workers=%d diverged\nserial:   %+v\nparallel: %+v",
+					cores, workers, serial, par)
+			}
+		}
+	}
+}
+
+// TestL3CellWorkersBitIdentical checks the l3 cell's three-placement
+// fan-out against the serial path.
+func TestL3CellWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed l3 simulation")
+	}
+	p, ok := trace.ProfileByName("mcf")
+	if !ok {
+		t.Fatal("mcf profile missing")
+	}
+	b := Budget{Warmup: 3_000, Measure: 8_000, Seed: 5}
+	serial, err := L3Cell(context.Background(), p, b)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	par, err := L3Cell(WithCellWorkers(context.Background(), 3), p, b)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if par != serial {
+		t.Errorf("l3 cell diverged\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+}

@@ -4,6 +4,7 @@
 //	GET  /fleet/cells/{hash}         fetch a computed cell's canonical bytes
 //	PUT  /fleet/cells/{hash}         push a computed cell (steal delivery)
 //	POST /fleet/claims/{hash}?owner= single-flight claim: who runs this cell
+//	POST /fleet/claims               batch claim round: one POST arbitrates a whole steal batch
 //	GET  /fleet/queue?max=N          cells awaiting a worker, ripe for stealing
 //
 // The Node plugs into the service as its Coordinator: before a worker
@@ -34,7 +35,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -280,38 +280,79 @@ func (n *Node) grant(hash, owner string) (granted bool, current string) {
 	}
 }
 
-// acquire runs the full claim round for this node. True means this node
-// — and, in a partition-free fleet, only this node — executes the cell.
+// acquire runs the full claim round for one cell.
 func (n *Node) acquire(hash string) bool {
-	if ok, _ := n.grant(hash, n.cfg.Self); !ok {
-		return false
+	return n.acquireBatch([]string{hash})[0]
+}
+
+// acquireBatch runs one claim round for a set of cells: grant locally,
+// then ONE batch POST per live peer for every cell still in contention,
+// then commit the survivors. won[i] true means this node — and, in a
+// partition-free fleet, only this node — executes hashes[i]. Batching
+// changes round-trip count, not arbitration: each (cell, peer) pair is
+// granted or rejected exactly as the per-cell round would, and a cell
+// rejected by any peer stays in the request set for later peers only to
+// learn (and adopt) the stronger owner sooner, never to re-win.
+func (n *Node) acquireBatch(hashes []string) (won []bool) {
+	won = make([]bool, len(hashes))
+	idx := make(map[string]int, len(hashes))
+	var live []string // cells still in contention, in submission order
+	for i, h := range hashes {
+		if _, dup := idx[h]; dup {
+			continue // duplicate submissions lose to the first
+		}
+		if ok, _ := n.grant(h, n.cfg.Self); ok {
+			idx[h] = i
+			live = append(live, h)
+			won[i] = true // tentative until every peer grants
+		}
 	}
 	now := time.Now()
 	for _, p := range n.peers {
+		if len(live) == 0 {
+			break
+		}
 		if !p.alive(now) {
 			continue // a dead peer cannot object
 		}
-		granted, owner, err := n.claimPeer(p, hash)
+		results, err := n.claimPeerBatch(p, live)
 		if err != nil {
 			n.peerError(p, err)
 			continue
 		}
-		if !granted {
-			n.adopt(hash, owner)
-			return false
+		for _, r := range results {
+			i, ok := idx[r.Hash]
+			if !ok || r.Granted {
+				continue
+			}
+			won[i] = false
+			n.adopt(r.Hash, r.Owner)
 		}
+		kept := live[:0]
+		for _, h := range live {
+			if won[idx[h]] {
+				kept = append(kept, h)
+			}
+		}
+		live = kept
 	}
-	// Commit only if our own record survived the round: a stronger
-	// claimant may have overtaken it while our requests were in flight,
+	// Commit only claims whose own record survived the round: a stronger
+	// claimant may have overtaken one while our requests were in flight,
 	// in which case exactly that claimant wins.
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	c, ok := n.claims[hash]
-	if !ok || c.owner != n.cfg.Self {
-		return false
+	for i, h := range hashes {
+		if !won[i] {
+			continue
+		}
+		c, ok := n.claims[h]
+		if !ok || c.owner != n.cfg.Self {
+			won[i] = false
+			continue
+		}
+		c.committed = true
 	}
-	c.committed = true
-	return true
+	return won
 }
 
 // adopt records the fleet-wide winner locally so later local claimants
@@ -378,9 +419,15 @@ func (n *Node) pollLoop() {
 			n.peerError(p, err)
 			continue
 		}
+		// Reserve steal slots first, then arbitrate the whole batch in
+		// one claim round — one POST per live peer, not one per cell.
+		var picked []service.QueuedCell
 		for _, c := range cells {
 			if !cellstore.ValidHash(c.Hash) {
 				continue
+			}
+			if _, ok := n.cfg.Local.Get(c.Hash); ok {
+				continue // already have it; the victim will fetch it
 			}
 			n.mu.Lock()
 			full := n.steals >= want
@@ -390,6 +437,23 @@ func (n *Node) pollLoop() {
 			n.mu.Unlock()
 			if full {
 				break
+			}
+			picked = append(picked, c)
+		}
+		if len(picked) == 0 {
+			continue
+		}
+		hashes := make([]string, len(picked))
+		for i, c := range picked {
+			hashes[i] = c.Hash
+		}
+		won := n.acquireBatch(hashes)
+		for i, c := range picked {
+			if !won[i] {
+				n.mu.Lock()
+				n.steals--
+				n.mu.Unlock()
+				continue // someone else runs it
 			}
 			n.wg.Add(1)
 			go n.steal(p, c)
@@ -413,7 +477,7 @@ func (n *Node) nextLivePeer() *peer {
 	return nil
 }
 
-// steal claims and executes one of a peer's queued cells, then pushes
+// steal executes one queued cell this node already claimed, then pushes
 // the result back so the victim's waiting worker finds it immediately.
 func (n *Node) steal(victim *peer, c service.QueuedCell) {
 	defer n.wg.Done()
@@ -422,12 +486,6 @@ func (n *Node) steal(victim *peer, c service.QueuedCell) {
 		n.steals--
 		n.mu.Unlock()
 	}()
-	if _, ok := n.cfg.Local.Get(c.Hash); ok {
-		return // already have it; the victim will fetch it
-	}
-	if !n.acquire(c.Hash) {
-		return // someone else runs it
-	}
 	data, err := n.cfg.Exec.ExecuteSpec(n.ctx, c.Spec)
 	if err != nil {
 		n.releaseOwn(c.Hash)
@@ -515,18 +573,28 @@ func (n *Node) fetchPeers(hash string) ([]byte, bool) {
 	return nil, false
 }
 
-func (n *Node) claimPeer(p *peer, hash string) (granted bool, owner string, err error) {
-	u := p.base + "/fleet/claims/" + hash + "?owner=" + url.QueryEscape(n.cfg.Self)
-	resp, err := n.do(http.MethodPost, u, nil)
+// claimPeerBatch asks one peer to arbitrate every hash in one POST. A
+// hash missing from the response is treated as granted — the same
+// stance taken toward an unreachable peer, which cannot object either.
+func (n *Node) claimPeerBatch(p *peer, hashes []string) ([]claimResult, error) {
+	payload, err := json.Marshal(claimBatchRequest{Owner: n.cfg.Self, Hashes: hashes})
 	if err != nil {
-		return false, "", err
+		return nil, err
+	}
+	resp, err := n.do(http.MethodPost, p.base+"/fleet/claims", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
-	var body claimResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err != nil {
-		return false, "", err
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("claim batch: status %d", resp.StatusCode)
 	}
-	return body.Granted, body.Owner, nil
+	var body claimBatchResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Results, nil
 }
 
 func (n *Node) putPeer(p *peer, hash string, data []byte) error {
@@ -569,6 +637,25 @@ type claimResponse struct {
 	Owner   string `json:"owner"`
 }
 
+// claimBatchMax bounds one batch claim request; steal batches are far
+// smaller (the queue handler itself serves at most 64 cells).
+const claimBatchMax = 256
+
+type claimBatchRequest struct {
+	Owner  string   `json:"owner"`
+	Hashes []string `json:"hashes"`
+}
+
+type claimResult struct {
+	Hash    string `json:"hash"`
+	Granted bool   `json:"granted"`
+	Owner   string `json:"owner"`
+}
+
+type claimBatchResponse struct {
+	Results []claimResult `json:"results"`
+}
+
 type queueResponse struct {
 	Cells []service.QueuedCell `json:"cells"`
 }
@@ -580,6 +667,7 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /fleet/cells/{hash}", n.handleGetCell)
 	mux.HandleFunc("PUT /fleet/cells/{hash}", n.handlePutCell)
 	mux.HandleFunc("POST /fleet/claims/{hash}", n.handleClaim)
+	mux.HandleFunc("POST /fleet/claims", n.handleClaimBatch)
 	mux.HandleFunc("GET /fleet/queue", n.handleQueue)
 	return mux
 }
@@ -631,6 +719,37 @@ func (n *Node) handleClaim(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(claimResponse{Granted: granted, Owner: current})
+}
+
+// handleClaimBatch arbitrates a whole steal batch in one request. Each
+// hash is granted or rejected independently, exactly as the per-hash
+// endpoint would decide it.
+func (n *Node) handleClaimBatch(w http.ResponseWriter, r *http.Request) {
+	var req claimBatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad claim batch", http.StatusBadRequest)
+		return
+	}
+	if req.Owner == "" || req.Owner == n.cfg.Self || len(req.Hashes) == 0 || len(req.Hashes) > claimBatchMax {
+		http.Error(w, "bad claim batch", http.StatusBadRequest)
+		return
+	}
+	results := make([]claimResult, 0, len(req.Hashes))
+	for _, h := range req.Hashes {
+		if !cellstore.ValidHash(h) {
+			http.Error(w, "bad cell hash", http.StatusBadRequest)
+			return
+		}
+		granted, current := n.grant(h, req.Owner)
+		if granted {
+			n.bump("claims_granted")
+		} else {
+			n.bump("claims_rejected")
+		}
+		results = append(results, claimResult{Hash: h, Granted: granted, Owner: current})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(claimBatchResponse{Results: results})
 }
 
 func (n *Node) handleQueue(w http.ResponseWriter, r *http.Request) {

@@ -2,7 +2,11 @@ package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -260,4 +264,150 @@ func TestClaimTieBreak(t *testing.T) {
 			t.Fatalf("round %d: a=%v b=%v, want exactly one winner", i, aWon, bWon)
 		}
 	}
+}
+
+// fakeExec is a minimal Executor: always-idle workers, instant cells.
+type fakeExec struct {
+	mu   sync.Mutex
+	runs int
+}
+
+func (f *fakeExec) ExecuteSpec(context.Context, service.JobSpec) ([]byte, error) {
+	f.mu.Lock()
+	f.runs++
+	f.mu.Unlock()
+	return []byte(`{"cell":"ok"}`), nil
+}
+func (f *fakeExec) StealableCells(int) []service.QueuedCell { return nil }
+func (f *fakeExec) LoadHint() (int, int, int)               { return 0, 0, 8 }
+
+// fakePeer is a scripted /fleet/ server that counts claim traffic.
+type fakePeer struct {
+	ts *httptest.Server
+
+	mu          sync.Mutex
+	batchPosts  int      // POST /fleet/claims
+	singlePosts int      // POST /fleet/claims/{hash}
+	batchHashes []string // hashes seen across batch claim posts
+	puts        int      // PUT /fleet/cells/{hash}
+	queue       []service.QueuedCell
+}
+
+func newFakePeer(queue []service.QueuedCell) *fakePeer {
+	f := &fakePeer{queue: queue}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet/queue", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		cells := f.queue
+		f.queue = nil // served once: a real queue drains as cells are claimed
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(queueResponse{Cells: cells})
+	})
+	mux.HandleFunc("POST /fleet/claims", func(w http.ResponseWriter, r *http.Request) {
+		var req claimBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.batchPosts++
+		f.batchHashes = append(f.batchHashes, req.Hashes...)
+		f.mu.Unlock()
+		results := make([]claimResult, len(req.Hashes))
+		for i, h := range req.Hashes {
+			results[i] = claimResult{Hash: h, Granted: true, Owner: req.Owner}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(claimBatchResponse{Results: results})
+	})
+	mux.HandleFunc("POST /fleet/claims/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.singlePosts++
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(claimResponse{Granted: true, Owner: r.URL.Query().Get("owner")})
+	})
+	mux.HandleFunc("PUT /fleet/cells/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		f.mu.Lock()
+		f.puts++
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /fleet/cells/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "cell not here", http.StatusNotFound)
+	})
+	f.ts = httptest.NewServer(mux)
+	return f
+}
+
+// TestStealBatchClaimsOnePostPerPeer pins the batch claim round: a steal
+// batch of four cells must cost exactly one POST /fleet/claims per live
+// peer — not one claim request per cell — and no legacy per-hash posts.
+func TestStealBatchClaimsOnePostPerPeer(t *testing.T) {
+	const batch = 4
+	cells := make([]service.QueuedCell, batch)
+	hashes := map[string]bool{}
+	for i := range cells {
+		sum := sha256.Sum256([]byte{byte(i)})
+		h := hex.EncodeToString(sum[:])
+		cells[i] = service.QueuedCell{Hash: h}
+		hashes[h] = true
+	}
+	victim := newFakePeer(cells)
+	defer victim.ts.Close()
+	bystander := newFakePeer(nil)
+	defer bystander.ts.Close()
+
+	exec := &fakeExec{}
+	n := New(Config{
+		Self:         "http://stealer.invalid",
+		Peers:        []string{victim.ts.URL, bystander.ts.URL},
+		Local:        cellstore.NewMemory(64),
+		Exec:         exec,
+		PeerTimeout:  2 * time.Second,
+		PollInterval: 20 * time.Millisecond,
+		StealBatch:   batch,
+	})
+	n.Start()
+	defer n.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		victim.mu.Lock()
+		done := victim.puts == batch
+		victim.mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stolen results never delivered: %d/%d puts", victim.puts, batch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	for name, p := range map[string]*fakePeer{"victim": victim, "bystander": bystander} {
+		p.mu.Lock()
+		if p.batchPosts != 1 {
+			t.Errorf("%s: %d batch claim posts for one steal batch, want 1", name, p.batchPosts)
+		}
+		if p.singlePosts != 0 {
+			t.Errorf("%s: %d per-hash claim posts, want 0", name, p.singlePosts)
+		}
+		if len(p.batchHashes) != batch {
+			t.Errorf("%s: batch claimed %d hashes, want %d", name, len(p.batchHashes), batch)
+		}
+		for _, h := range p.batchHashes {
+			if !hashes[h] {
+				t.Errorf("%s: claimed unknown hash %s", name, h)
+			}
+		}
+		p.mu.Unlock()
+	}
+	exec.mu.Lock()
+	if exec.runs != batch {
+		t.Errorf("executed %d cells, want %d", exec.runs, batch)
+	}
+	exec.mu.Unlock()
 }

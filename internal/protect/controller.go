@@ -10,8 +10,11 @@ import (
 type Controller struct {
 	C      *cache.Cache
 	Scheme Scheme
-	Next   cache.Backing
-	Stats  cache.Stats
+	// lv is Scheme's LineVerifier view, or nil: resolved once at
+	// construction so the fetch path pays no per-call type assertion.
+	lv    LineVerifier
+	Next  cache.Backing
+	Stats cache.Stats
 
 	// sampleEvery controls dirty-occupancy sampling (Table 2); a sample
 	// is taken every N accesses. 0 disables sampling. sampleLeft counts
@@ -72,6 +75,7 @@ func NewController(c *cache.Cache, s Scheme, next cache.Backing) *Controller {
 	ct := &Controller{
 		C: c, Scheme: s, Next: next, sampleEvery: 256, sampleLeft: 256,
 	}
+	ct.lv, _ = s.(LineVerifier)
 	// One backing array for the four scratch buffers: they are distinct
 	// regions of it, so the aliasing rules in the field comments still hold.
 	bw, gw := c.BlockWords(), c.GranuleWords()
@@ -184,11 +188,19 @@ func (ct *Controller) earlyWriteback(now uint64) {
 // eviction/write-back and fill hooks; it reports whether it hit and the
 // accumulated miss penalty and port usage.
 func (ct *Controller) ensure(addr uint64, now uint64, res *AccessResult) (set, way int) {
-	set, way = ct.C.Probe(addr)
+	tag, set, _ := ct.C.Decompose(addr)
+	return set, ct.ensureWay(addr, tag, set, now, res)
+}
+
+// ensureWay is ensure for a pre-decomposed address: the entry points
+// decompose once and share the (tag, set, word) split with the rest of
+// the access path.
+func (ct *Controller) ensureWay(addr, tag uint64, set int, now uint64, res *AccessResult) (way int) {
+	way = ct.C.ProbeTS(tag, set)
 	if way >= 0 {
 		ct.C.Touch(set, way)
 		res.Hit = true
-		return set, way
+		return way
 	}
 	ct.Stats.Misses++
 	way = ct.C.Victim(set)
@@ -217,7 +229,7 @@ func (ct *Controller) ensure(addr uint64, now uint64, res *AccessResult) (set, w
 	ct.Scheme.OnFill(set, way)
 	ct.Stats.Fills++
 	res.WritePortOps++ // one wide array write fills the line
-	return set, way
+	return way
 }
 
 // refetch refreshes the *clean* granules of a resident block from the
@@ -292,16 +304,74 @@ func (ct *Controller) LoadInto(addr, now uint64, res *AccessResult) {
 	ct.Stats.Loads++
 	res.Latency = ct.C.Cfg.HitLatencyCycles
 	res.ReadPortOps++
-	set, way := ct.ensure(addr, now, res)
+	tag, set, word := ct.C.Decompose(addr)
+	way := ct.ensureWay(addr, tag, set, now, res)
 	if res.Hit {
 		ct.Stats.LoadHits++
 	}
-	_, _, word := ct.C.Decompose(addr)
 	g := ct.C.GranuleOf(word)
-	ct.C.TouchDirty(set, way, word, now)
+	ln := ct.C.Line(set, way)
+	ct.C.TouchDirtyG(ln, g, now)
 
 	ct.verifyOnRead(set, way, g, now, res)
-	res.Value = ct.C.Line(set, way).Data[word]
+	res.Value = ln.Data[word]
+}
+
+// LoadResidentInto is LoadInto for a block the caller has just probed
+// resident at (set, way) — the multiprocessor's pure-local-hit path
+// skips the second probe. The body mirrors LoadInto's hit branch
+// exactly and must stay in lockstep with it.
+func (ct *Controller) LoadResidentInto(set, way int, addr, now uint64, res *AccessResult) {
+	ct.tick()
+	ct.Stats.Loads++
+	res.Latency = ct.C.Cfg.HitLatencyCycles
+	res.ReadPortOps++
+	ct.C.Touch(set, way)
+	res.Hit = true
+	ct.Stats.LoadHits++
+	_, _, word := ct.C.Decompose(addr)
+	g := ct.C.GranuleOf(word)
+	ln := ct.C.Line(set, way)
+	ct.C.TouchDirtyG(ln, g, now)
+
+	ct.verifyOnRead(set, way, g, now, res)
+	res.Value = ln.Data[word]
+}
+
+// StoreResidentInto is StoreInto for a block the caller has just probed
+// resident at (set, way); it mirrors StoreInto's hit branch exactly and
+// must stay in lockstep with it.
+func (ct *Controller) StoreResidentInto(set, way int, addr, val, now uint64, res *AccessResult) {
+	ct.tick()
+	ct.Stats.Stores++
+	res.Latency = ct.C.Cfg.HitLatencyCycles
+	res.WritePortOps++
+	ct.C.Touch(set, way)
+	res.Hit = true
+	ct.Stats.StoreHits++
+	_, _, word := ct.C.Decompose(addr)
+	g := ct.C.GranuleOf(word)
+	ln := ct.C.Line(set, way)
+	ct.C.TouchDirtyG(ln, g, now)
+
+	wasDirty := ln.Dirty[g]
+	var old []uint64
+	if ct.Scheme.StoreNeedsOldData(set, way, g) {
+		// See StoreInto: the read-before-write passes the fault checker
+		// before the old value is folded into the registers.
+		ct.verifyOnRead(set, way, g, now, res)
+		old = ct.oldBuf[:len(ct.granule(ln, g))]
+		copy(old, ct.granule(ln, g))
+		ct.Stats.ReadBeforeWrite++
+		res.ReadPortOps++
+	}
+	oldVerified := old != nil && res.Fault != FaultDUE
+	ln.Data[word] = val
+	ct.Scheme.OnStore(set, way, g, old, wasDirty, oldVerified, now)
+	if ct.writeThrough {
+		ct.Next.WriteBackBlock(ct.C.BlockAddr(set, way), ln.Data, now)
+		ct.Scheme.OnDowngrade(set, way, now)
+	}
 }
 
 // Store performs a word store at addr (write-allocate).
@@ -318,15 +388,15 @@ func (ct *Controller) StoreInto(addr, val, now uint64, res *AccessResult) {
 	ct.Stats.Stores++
 	res.Latency = ct.C.Cfg.HitLatencyCycles
 	res.WritePortOps++
-	set, way := ct.ensure(addr, now, res)
+	tag, set, word := ct.C.Decompose(addr)
+	way := ct.ensureWay(addr, tag, set, now, res)
 	if res.Hit {
 		ct.Stats.StoreHits++
 	}
-	_, _, word := ct.C.Decompose(addr)
 	g := ct.C.GranuleOf(word)
-	ct.C.TouchDirty(set, way, word, now)
-
 	ln := ct.C.Line(set, way)
+	ct.C.TouchDirtyG(ln, g, now)
+
 	wasDirty := ln.Dirty[g]
 	var old []uint64
 	if ct.Scheme.StoreNeedsOldData(set, way, g) {
@@ -430,8 +500,16 @@ func (ct *Controller) FetchBlock(addr uint64, dst []uint64, now uint64) int {
 	if res.Hit {
 		ct.Stats.LoadHits++
 	}
+	ln := ct.C.Line(set, way)
+	// Clean line, clean syndromes: the loop below would be a complete
+	// no-op (TouchDirtyG skips clean granules, FaultNone takes no branch),
+	// and the scheme can prove that in one pass.
+	if ct.lv != nil && !ln.DirtyAny() && ct.lv.VerifyLineClean(set, way) {
+		copy(dst, ln.Data)
+		return res.Latency
+	}
 	for g := 0; g < ct.C.Granules(); g++ {
-		ct.C.TouchDirty(set, way, g*ct.C.GranuleWords(), now)
+		ct.C.TouchDirtyG(ln, g, now)
 		status, needRefetch := ct.Scheme.VerifyGranule(set, way, g, now)
 		switch {
 		case status == FaultDUE:
@@ -447,7 +525,7 @@ func (ct *Controller) FetchBlock(addr uint64, dst []uint64, now uint64) int {
 			ct.Stats.FaultsCorrected++
 		}
 	}
-	copy(dst, ct.C.Line(set, way).Data)
+	copy(dst, ln.Data)
 	return res.Latency
 }
 
@@ -464,7 +542,7 @@ func (ct *Controller) WriteBackBlock(addr uint64, src []uint64, now uint64) {
 	ln := ct.C.Line(set, way)
 	gw := ct.C.GranuleWords()
 	for g := 0; g < ct.C.Granules(); g++ {
-		ct.C.TouchDirty(set, way, g*gw, now)
+		ct.C.TouchDirtyG(ln, g, now)
 		wasDirty := ln.Dirty[g]
 		var old []uint64
 		if ct.Scheme.StoreNeedsOldData(set, way, g) {

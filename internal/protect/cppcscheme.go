@@ -62,6 +62,13 @@ func (s *CPPCScheme) VerifyGranule(set, way, g int, _ uint64) (FaultStatus, bool
 	return FaultDUE, false
 }
 
+// VerifyLineClean implements LineVerifier: a zero OR across every
+// granule's syndrome proves the per-granule verify loop would be a
+// complete no-op for a clean line.
+func (s *CPPCScheme) VerifyLineClean(set, way int) bool {
+	return s.Engine.LineSyndromeOr(set, way) == 0
+}
+
 // StoreNeedsOldData: only stores to already-dirty granules pay the
 // read-before-write (the old value must be folded into R2).
 func (s *CPPCScheme) StoreNeedsOldData(set, way, g int) bool {

@@ -18,13 +18,14 @@ func wordParity(w uint64, degree int) uint64 {
 
 // granuleParity computes degree-way interleaved parity over a granule.
 // Interleaved parity is linear and stripe-aligned across words, so the
-// words fold into one XOR first and a single SWAR kernel finishes.
+// words fold into one XOR first (multi-accumulator FoldLine, breaking
+// the serial XOR chain) and a single SWAR kernel finishes.
 func granuleParity(data []uint64, degree int) uint64 {
-	var x uint64
-	for _, w := range data {
-		x ^= w
+	// Single-word granules skip the line fold so Parity8 can inline.
+	if len(data) == 1 && degree == 8 {
+		return bitops.Parity8(data[0])
 	}
-	return wordParity(x, degree)
+	return bitops.FoldLineParity(data, degree)
 }
 
 // Parity1D is the baseline: interleaved parity per granule, detection
@@ -75,6 +76,19 @@ func (p *Parity1D) VerifyGranule(set, way, g int, _ uint64) (FaultStatus, bool) 
 		return FaultDUE, false
 	}
 	return FaultCorrectedClean, true
+}
+
+// VerifyLineClean implements LineVerifier: every granule's stored parity
+// matches a recompute.
+func (p *Parity1D) VerifyLineClean(set, way int) bool {
+	gw := p.C.Cfg.DirtyGranuleWords
+	ln := p.C.Line(set, way)
+	for g := 0; g < p.C.Granules(); g++ {
+		if ln.Check[g*gw] != granuleParity(ln.Data[g*gw:(g+1)*gw], p.Degree) {
+			return false
+		}
+	}
+	return true
 }
 
 func (p *Parity1D) StoreNeedsOldData(int, int, int) bool { return false }

@@ -82,6 +82,16 @@ func (f FaultStatus) String() string {
 // Scheme is one protection policy attached to a cache. The Controller
 // calls the hooks; set/way/granule coordinates refer to the controller's
 // cache.
+// LineVerifier is an optional Scheme extension: schemes whose granule
+// verify is a pure syndrome check can prove a whole clean line verifies
+// in one pass, letting the controller's block-fetch path skip the
+// per-granule dispatch loop entirely. VerifyLineClean must return true
+// only when VerifyGranule would return (FaultNone, false) for every
+// granule of the line.
+type LineVerifier interface {
+	VerifyLineClean(set, way int) bool
+}
+
 type Scheme interface {
 	Kind() Kind
 	Name() string

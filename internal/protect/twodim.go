@@ -3,6 +3,7 @@ package protect
 import (
 	"fmt"
 
+	"cppc/internal/bitops"
 	"cppc/internal/cache"
 	"cppc/internal/parity"
 )
@@ -80,10 +81,7 @@ func (t *TwoDim) OnStore(set, way, g int, old []uint64, _, oldVerified bool, now
 		// The read-before-write just verified the granule, so the stored
 		// check bits equal granuleParity(old) and can be maintained
 		// incrementally; see Scheme.OnStore.
-		var delta uint64
-		for j, w := range data {
-			delta ^= old[j] ^ w
-		}
+		delta := bitops.FoldLineDelta(old, data)
 		t.C.Line(set, way).Check[g*gw] ^= wordParity(delta, t.Degree)
 		return
 	}
@@ -127,9 +125,7 @@ func (t *TwoDim) reconstruct(set, way, g int) bool {
 			if ln.Check[gg*gw] != granuleParity(data, t.Degree) {
 				secondFault = true
 			}
-			for _, v := range data {
-				othersXor ^= v
-			}
+			othersXor ^= bitops.FoldLine(data)
 		}
 	})
 	if secondFault {
@@ -140,15 +136,11 @@ func (t *TwoDim) reconstruct(set, way, g int) bool {
 	stored := target.Check[g*gw]
 	corrected := -1
 	var value uint64
+	granXor := bitops.FoldLine(data)
 	for cand := 0; cand < gw; cand++ {
 		// XOR of all words except the candidate = othersXor ^ (granule
 		// words other than cand).
-		x := othersXor
-		for j, v := range data {
-			if j != cand {
-				x ^= v
-			}
-		}
+		x := othersXor ^ granXor ^ data[cand]
 		rec := t.V.Reconstruct(x)
 		// Accept if replacing the candidate restores horizontal parity.
 		saved := data[cand]

@@ -456,7 +456,16 @@ func (s *Service) worker() {
 		}
 		s.busy++
 		s.waitNanos += start.Sub(c.enqueued).Nanoseconds()
+		// Intra-cell parallelism hint: workers with neither a running cell
+		// nor queued work to pick up would otherwise idle, so this cell may
+		// fan its internal independent phases (per-core trace generation,
+		// the l3 placement runs) across them. Purely a wall-clock knob —
+		// cell results and cache keys are identical whatever it says.
+		spare := s.cfg.Workers - s.busy - len(s.runq)
 		s.mu.Unlock()
+		if spare > 0 {
+			ctx = experiments.WithCellWorkers(ctx, 1+spare)
+		}
 
 		res, err := s.runCell(ctx, c.hash, c.spec)
 		cancel()

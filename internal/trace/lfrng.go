@@ -93,10 +93,12 @@ func (r *lfRand) Int63() int64 { return int64(r.uint64() & lfMask) }
 func (r *lfRand) Int31() int32 { return int32(r.Int63() >> 32) }
 
 // Float64 preserves the Go 1 value stream, including the round-to-1
-// resample.
+// resample. The stdlib divides by 2^63; multiplying by the exactly
+// representable 2^-63 only adjusts the exponent the same way, so every
+// result is bit-identical and the divider stays off the hot path.
 func (r *lfRand) Float64() float64 {
 again:
-	f := float64(r.Int63()) / (1 << 63)
+	f := float64(r.Int63()) * 0x1p-63
 	if f == 1 {
 		goto again
 	}

@@ -1,0 +1,199 @@
+package trace
+
+import "sync"
+
+// Stream memoization. Generation is deterministic for a given
+// (profile, seed), and the experiments re-draw the same stream many
+// times over: Fig. 10 runs three protection schemes per benchmark, the
+// L3 study three placements, the Sec. 7 sweep shares per-core base
+// streams across cell sizes and sharing fractions, and benchmark
+// iterations repeat whole cells. A memoized stream materializes the
+// instruction prefix once, process-wide, and every subsequent reader
+// copies it instead of re-running the generator — bit-identical by
+// construction, since the memo holds exactly the stream the generator
+// would produce.
+const (
+	// memoMaxStreams bounds how many distinct streams stay resident;
+	// past it, eviction recycles an arbitrary slot so a seed sweep
+	// cannot pin unbounded memory.
+	memoMaxStreams = 32
+	// memoMaxInstrs bounds the materialized prefix per stream (~6MB).
+	// Readers that outrun it fork the parked generator by value and
+	// continue privately.
+	memoMaxInstrs = 1 << 18
+	// memoGrowChunk batches prefix extension so alternating readers do
+	// not generate one tiny append per demand.
+	memoGrowChunk = 4096
+)
+
+// memoSource is a deterministic batch generator with pure value state:
+// clone returns an independent continuation so a reader that outruns
+// the memoized prefix can fork the parked generator and keep drawing
+// the exact stream privately.
+type memoSource interface {
+	NextBatch(dst []Instr) int
+	clone() memoSource
+}
+
+// clone implements memoSource for the plain generator: Gen is pure
+// value state (the lagged-Fibonacci vector is an inline array), so a
+// struct copy is an independent continuation.
+func (g *Gen) clone() memoSource {
+	c := *g
+	return &c
+}
+
+// memoKey identifies a base (profile, seed) stream. Profile is
+// comparable (scalars plus the name), so the struct is directly usable
+// as a map key. Relocated per-core streams use relocKey (multicore.go);
+// the table is keyed by `any` to hold both.
+type memoKey struct {
+	p    Profile
+	seed int64
+}
+
+// memoStream is one shared stream: the append-only materialized prefix
+// and the generator parked at its end. Prefix elements are never
+// mutated after they are published, so readers may hold slice snapshots
+// taken under the lock and copy from them lock-free.
+type memoStream struct {
+	mu     sync.Mutex
+	instrs []Instr
+	gen    memoSource
+}
+
+// extend materializes the prefix to at least want instructions (clamped
+// to memoMaxInstrs) and returns a snapshot of it.
+func (s *memoStream) extend(want int) []Instr {
+	if want > memoMaxInstrs {
+		want = memoMaxInstrs
+	}
+	s.mu.Lock()
+	for len(s.instrs) < want {
+		grow := want - len(s.instrs)
+		if grow < memoGrowChunk {
+			grow = memoGrowChunk
+		}
+		if rem := memoMaxInstrs - len(s.instrs); grow > rem {
+			grow = rem
+		}
+		old := len(s.instrs)
+		s.instrs = append(s.instrs, make([]Instr, grow)...)
+		s.gen.NextBatch(s.instrs[old:])
+	}
+	snap := s.instrs
+	s.mu.Unlock()
+	return snap
+}
+
+// forkGen returns an independent copy of the parked generator. Callers
+// only fork once the prefix is full, so the copy sits at exactly
+// memoMaxInstrs — the position the caller has consumed up to.
+func (s *memoStream) forkGen() memoSource {
+	s.mu.Lock()
+	g := s.gen.clone()
+	s.mu.Unlock()
+	return g
+}
+
+var (
+	memoMu      sync.Mutex
+	memoStreams = map[any]*memoStream{}
+)
+
+// getStream returns the resident stream for key, creating it with mk's
+// generator if absent. When the table is full an arbitrary resident
+// stream is recycled; readers already attached keep working unshared.
+// mk runs outside the table lock — a relocated stream's generator
+// itself attaches to its base stream through this same table — so two
+// concurrent creators may both run it; the loser's (identical,
+// deterministic) generator is discarded.
+func getStream(key any, mk func() memoSource) *memoStream {
+	memoMu.Lock()
+	s := memoStreams[key]
+	memoMu.Unlock()
+	if s != nil {
+		return s
+	}
+	gen := mk()
+	memoMu.Lock()
+	if s = memoStreams[key]; s == nil {
+		if len(memoStreams) >= memoMaxStreams {
+			for evict := range memoStreams {
+				delete(memoStreams, evict)
+				break
+			}
+		}
+		s = &memoStream{gen: gen}
+		memoStreams[key] = s
+	}
+	memoMu.Unlock()
+	return s
+}
+
+// MemoGen reads one memoized stream. It implements Source and
+// BatchSource and produces exactly the stream its generator would; the
+// memo only changes who runs the generator, never what it emits. A
+// MemoGen is single-consumer like Gen (distinct MemoGens over the same
+// stream may run concurrently).
+type MemoGen struct {
+	s      *memoStream
+	prefix []Instr // local snapshot of the materialized prefix
+	pos    int
+	tail   memoSource // private continuation past the memoized prefix
+}
+
+// NewMemoGen builds a reader for the profile's seed stream, sharing the
+// materialized prefix with every other reader of the same (profile,
+// seed).
+func (p Profile) NewMemoGen(seed int64) *MemoGen {
+	s := getStream(memoKey{p, seed}, func() memoSource {
+		g := new(Gen)
+		p.initGen(g, seed)
+		return g
+	})
+	return &MemoGen{s: s}
+}
+
+// cloneReader returns an independent reader at the same position (used
+// when a relocated stream parks a MemoGen inside its generator and must
+// fork it).
+func (m *MemoGen) cloneReader() *MemoGen {
+	c := *m
+	if m.tail != nil {
+		c.tail = m.tail.clone()
+	}
+	return &c
+}
+
+// NextBatch implements BatchSource: identical to len(dst) Next calls.
+func (m *MemoGen) NextBatch(dst []Instr) int {
+	n := len(dst)
+	filled := 0
+	if m.pos < memoMaxInstrs && m.tail == nil {
+		if m.pos+n > len(m.prefix) {
+			m.prefix = m.s.extend(m.pos + n)
+		}
+		filled = copy(dst, m.prefix[m.pos:])
+		m.pos += filled
+	}
+	if filled < n {
+		if m.tail == nil {
+			m.tail = m.s.forkGen()
+		}
+		m.tail.NextBatch(dst[filled:])
+	}
+	return n
+}
+
+// Next implements Source.
+func (m *MemoGen) Next() Instr {
+	var buf [1]Instr
+	m.NextBatch(buf[:])
+	return buf[0]
+}
+
+var (
+	_ Source      = (*MemoGen)(nil)
+	_ BatchSource = (*MemoGen)(nil)
+)

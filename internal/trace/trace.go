@@ -96,6 +96,11 @@ type Gen struct {
 
 	// Draw bounds fixed by the profile, precomputed once (see lfBound).
 	depB, dep2B, rsB, hotB, wsB lfBound
+
+	// Cumulative op-mix thresholds, precomputed from the profile so Next
+	// compares the mix draw against constants instead of re-summing the
+	// fractions per instruction.
+	loadT, storeT, branchT float64
 }
 
 // NewGen builds a deterministic generator for the profile.
@@ -117,6 +122,9 @@ func (p Profile) initGen(g *Gen, seed int64) {
 	g.rsB = makeBound(len(g.recentStores))
 	g.hotB = makeBound(p.HotBytes / 8)
 	g.wsB = makeBound(p.WorkingSetBytes / 8)
+	g.loadT = p.LoadFrac
+	g.storeT = p.LoadFrac + p.StoreFrac
+	g.branchT = p.LoadFrac + p.StoreFrac + p.BranchFrac
 }
 
 // Next returns the next dynamic instruction.
@@ -125,17 +133,17 @@ func (g *Gen) Next() Instr {
 	r := g.rng.Float64()
 	var in Instr
 	switch {
-	case r < p.LoadFrac:
+	case r < g.loadT:
 		in.Op = OpLoad
 		in.Addr = g.address(false)
-	case r < p.LoadFrac+p.StoreFrac:
+	case r < g.storeT:
 		in.Op = OpStore
 		in.Addr = g.address(true)
 		g.recentStores[g.rsHead] = in.Addr
 		if g.rsHead++; g.rsHead == len(g.recentStores) {
 			g.rsHead = 0
 		}
-	case r < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+	case r < g.branchT:
 		in.Op = OpBranch
 		in.Mispredict = g.rng.Float64() < p.BranchMispredictRate
 	default:
