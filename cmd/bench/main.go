@@ -240,6 +240,19 @@ var entries = []struct {
 			}
 		}
 	}},
+	{"FieldMC", func(b *testing.B) {
+		b.ReportAllocs()
+		// One field-mix grid cell (populate + exercise + probe per
+		// trial): the persistence hook's end-to-end cost, gated so the
+		// fault-plane consult stays off the floor of the read path.
+		pt := experiments.FieldPoint{Footprint: "word", Lifetime: "stuck", Rate: "x1"}
+		for i := 0; i < b.N; i++ {
+			cell, err := experiments.FieldMCCellCtx(context.Background(), "cppc", pt, 4, 1)
+			if err != nil || cell.Counts.Total() != 4 {
+				panic(fmt.Sprintf("fieldmc cell broke: %+v err=%v", cell, err))
+			}
+		}
+	}},
 	{"L3CPI", func(b *testing.B) {
 		b.ReportAllocs()
 		p, ok := trace.ProfileByName("mcf")

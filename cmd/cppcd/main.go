@@ -7,6 +7,7 @@
 //	cppcd -addr :9000 -workers 4   # bounded worker pool
 //	cppcd -data-dir /var/lib/cppc  # cell results survive restarts
 //	cppcd -peers http://b:8322     # share the cell cache with daemon b
+//	cppcd -peers ... -fleet-token s3cret   # require the secret on /fleet/*
 //
 //	curl -s localhost:8322/jobs -d '{"kind":"suite","budget":"quick","figures":["fig10"]}'
 //	curl -s localhost:8322/jobs/job-1
@@ -49,6 +50,7 @@ func main() {
 		peersFlag   = flag.String("peers", "", "comma-separated peer base URLs (e.g. http://b:8322,http://c:8322); empty disables fleet mode")
 		peerTimeout = flag.Duration("peer-timeout", 5*time.Second, "budget to wait on a peer before falling back to local execution")
 		fleetID     = flag.String("fleet-id", "", "node ID for fleet claim tie-breaks (default hostname+addr)")
+		fleetToken  = flag.String("fleet-token", "", "shared secret required on /fleet/* requests; every daemon in the fleet must use the same value (empty disables auth)")
 	)
 	flag.Parse()
 
@@ -90,6 +92,7 @@ func main() {
 			Local:       store,
 			Exec:        svc,
 			PeerTimeout: *peerTimeout,
+			Token:       *fleetToken,
 			Logf:        log.Printf,
 		})
 		svc.SetCoordinator(node)

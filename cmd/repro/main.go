@@ -38,6 +38,7 @@ func main() {
 		sec7     = flag.Bool("sec7", false, "Sec. 7 multiprocessor extension (coherence vs. RBW)")
 		sec51    = flag.Bool("sec51", false, "Sec. 5.1 area comparison")
 		mc       = flag.Bool("montecarlo", false, "PARMA-style Monte-Carlo validation of the MTTF models")
+		fieldmc  = flag.Bool("fieldmc", false, "field-mix fault campaign: footprint x lifetime x rate grid (opt-in, not part of the default run)")
 		l3       = flag.Bool("l3", false, "Sec. 7 L3 CPPC study")
 		csv      = flag.Bool("csv", false, "emit the figures as CSV instead of text tables")
 		coverage = flag.Bool("coverage", false, "spatial coverage matrices (Secs. 4.6/4.11)")
@@ -65,7 +66,7 @@ func main() {
 		}
 	}
 	all := !(*table1 || *fig10 || *fig11 || *fig12 || *table2 || *table3 ||
-		*sec47 || *sec48 || *sec7 || *sec51 || *mc || *l3 || *coverage || *ablate)
+		*sec47 || *sec48 || *sec7 || *sec51 || *mc || *fieldmc || *l3 || *coverage || *ablate)
 
 	budget := experiments.DefaultBudget()
 	if *quick {
@@ -137,6 +138,18 @@ func main() {
 		checkCtx()
 		fmt.Fprintln(os.Stderr, "running Monte-Carlo lifetime campaigns...")
 		out, err := experiments.MonteCarloValidationCtx(ctx, *trials, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+	}
+	// The field-mix grid is opt-in (not part of `all`): it is the one
+	// campaign whose trials run a full exercise window each, and keeping
+	// it out of the default run keeps repro_output.txt stable.
+	if *fieldmc {
+		checkCtx()
+		fmt.Fprintf(os.Stderr, "running field-mix fault campaigns (%d trials/cell)...\n", *trials)
+		out, err := experiments.FieldMCCtx(ctx, *trials, *seed)
 		if err != nil {
 			fail(err)
 		}

@@ -89,6 +89,12 @@ type Cache struct {
 	probeTag uint64
 	probeSet int
 	probeWay int
+
+	// plane, when non-nil, is the armed physical fault plane (plane.go):
+	// persistent stuck-at / intermittent cells the controller re-asserts
+	// on every read path. Nil in every normal simulation — the nil check
+	// is the only cost the hook adds to unfaulted runs.
+	plane *FaultPlane
 }
 
 // arena bundles one geometry's backing arrays (line structs plus the

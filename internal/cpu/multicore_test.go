@@ -124,3 +124,60 @@ func TestClusterPrefillExactDemand(t *testing.T) {
 	c.prefill(src2, 100)
 	check("new source", ref[:100])
 }
+
+// TestClusterFaultPlaneParallel is the fault-plane concurrency gate: CI
+// runs it under -race. Each core's private L1 carries an armed fault
+// plane with stuck-at and intermittent cells that re-assert on every
+// array consult while the Cluster executes whole quanta concurrently.
+// The run must be bit-identical to the serial path (plane coin draws
+// are per-cache, so per-core streams stay deterministic) and the faults
+// must actually fire (detections observed on every core).
+func TestClusterFaultPlaneParallel(t *testing.T) {
+	const instrs, quantum = 6_000, 0
+	const cores = 4
+
+	arm := func(systems []*System) {
+		for i, sys := range systems {
+			c := sys.L1().C
+			c.ArmPlane(1234 + int64(i))
+			words := c.BlockWords()
+			for s := 0; s < c.Sets(); s += 5 {
+				bit := uint(s % 64)
+				c.AddStuckFault(s, s%c.Ways(), s%words, 1<<bit, 1<<bit)
+				c.AddIntermittentFault(s, (s+1)%c.Ways(), (s+1)%words, 1<<((bit*7)%64), 0.2)
+			}
+		}
+	}
+
+	serial, serialSys := buildPrivateCluster(t, cores)
+	arm(serialSys)
+	serialRes := serial.Run(instrs, quantum)
+	serialStats := make([]interface{}, cores)
+	for i, sys := range serialSys {
+		serialStats[i] = sys.L1().Stats
+		if sys.L1().Stats.FaultsDetected == 0 {
+			t.Errorf("core %d: armed plane produced no detections — faults never re-asserted", i)
+		}
+	}
+
+	par, parSys := buildPrivateCluster(t, cores)
+	arm(parSys)
+	par.SetWorkers(cores)
+	parRes := par.Run(instrs, quantum)
+	if !reflect.DeepEqual(serialRes, parRes) {
+		t.Errorf("parallel run with armed fault planes diverged\nserial:   %+v\nparallel: %+v",
+			serialRes, parRes)
+	}
+	for i, sys := range parSys {
+		if !reflect.DeepEqual(serialStats[i], sys.L1().Stats) {
+			t.Errorf("core %d: L1 stats diverged under armed plane\nserial:   %+v\nparallel: %+v",
+				i, serialStats[i], sys.L1().Stats)
+		}
+		sys.Release()
+	}
+	par.Release()
+	for _, sys := range serialSys {
+		sys.Release()
+	}
+	serial.Release()
+}

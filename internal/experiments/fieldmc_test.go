@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestFieldMCCellDeterminism is the cell-cache gate: a fieldmc cell is
+// keyed only by (scheme, point, trials, seed), so the same key must be
+// bit-identical wherever it runs, and a disjoint seed window must give
+// a different campaign.
+func TestFieldMCCellDeterminism(t *testing.T) {
+	ctx := context.Background()
+	pt := FieldPoint{Footprint: "word", Lifetime: "stuck", Rate: "x1"}
+	a, err := FieldMCCellCtx(ctx, "parity-1d", pt, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FieldMCCellCtx(ctx, "parity-1d", pt, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c, err := FieldMCCellCtx(ctx, "parity-1d", pt, 10, 905)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts == c.Counts {
+		t.Errorf("seeds 5 and 905 produced identical counts %v", a.Counts)
+	}
+	if a.Counts.Total() != 10 {
+		t.Errorf("cell total %d, want 10", a.Counts.Total())
+	}
+}
+
+// TestFieldMCCellRejectsJunk pins the cell-spec validation surface the
+// job API leans on.
+func TestFieldMCCellRejectsJunk(t *testing.T) {
+	ctx := context.Background()
+	good := FieldPoint{Footprint: "word", Lifetime: "transient", Rate: "x1"}
+	for _, tc := range []struct {
+		scheme string
+		pt     FieldPoint
+	}{
+		{"no-such-scheme", good},
+		{"cppc", FieldPoint{Footprint: "blob", Lifetime: "transient", Rate: "x1"}},
+		{"cppc", FieldPoint{Footprint: "word", Lifetime: "forever", Rate: "x1"}},
+		{"cppc", FieldPoint{Footprint: "word", Lifetime: "transient", Rate: "x9"}},
+	} {
+		if _, err := FieldMCCellCtx(ctx, tc.scheme, tc.pt, 1, 1); err == nil {
+			t.Errorf("scheme %q point %v accepted, want error", tc.scheme, tc.pt)
+		}
+	}
+}
+
+// TestFieldMCTableRender checks the grid renderer consumes cells in the
+// canonical point-major, scheme-minor order and emits one row per point.
+func TestFieldMCTableRender(t *testing.T) {
+	pts := FieldMCPoints()
+	schemes := FieldMCSchemes()
+	if len(pts) != 24 {
+		t.Fatalf("grid has %d points, want 24", len(pts))
+	}
+	var cells []FieldMCCell
+	for _, pt := range pts {
+		for _, s := range schemes {
+			cells = append(cells, FieldMCCell{Scheme: s, Point: pt})
+		}
+	}
+	out := FieldMCTable(7, cells)
+	for _, want := range append([]string{"word/stuck/x1", "bank/intermittent/x4", "7 trials"}, schemes...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "0/0/0"); got != len(cells) {
+		t.Errorf("%d zero cells rendered, want %d", got, len(cells))
+	}
+}

@@ -14,10 +14,9 @@
 package fault
 
 import (
-	"math/rand"
-
 	"cppc/internal/cache"
 	"cppc/internal/geometry"
+	"cppc/internal/lfrng"
 	"cppc/internal/protect"
 )
 
@@ -51,16 +50,19 @@ func (o Outcome) String() string {
 type Campaign struct {
 	Ct     *protect.Controller
 	Mem    *cache.Memory
-	rng    *rand.Rand
+	rng    *lfrng.Rand
 	shadow map[uint64]uint64 // golden values of every word the program wrote
 	now    uint64
 }
 
-// New builds a campaign around a controller and its backing memory.
+// New builds a campaign around a controller and its backing memory. The
+// workload and placement stream comes from the repo's lagged-Fibonacci
+// generator (internal/lfrng), so campaign cells hash identically on
+// every toolchain — a requirement for the fleet cell cache.
 func New(ct *protect.Controller, mem *cache.Memory, seed int64) *Campaign {
 	return &Campaign{
 		Ct: ct, Mem: mem,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    lfrng.New(seed),
 		shadow: make(map[uint64]uint64),
 	}
 }

@@ -2,9 +2,9 @@ package fault
 
 import (
 	"context"
-	"math/rand"
 
 	"cppc/internal/cache"
+	"cppc/internal/lfrng"
 	"cppc/internal/protect"
 )
 
@@ -68,7 +68,7 @@ func MonteCarloMTTFCtx(ctx context.Context, mk SchemeFactory, lambda float64, tr
 		if err := ctx.Err(); err != nil {
 			return MCResult{}, err
 		}
-		rng := rand.New(rand.NewSource(seed + int64(trial)))
+		rng := lfrng.New(seed + int64(trial))
 		ccfg := campaignCacheConfig()
 		c := cache.New(ccfg)
 		mem := cache.NewMemory(32, 100)

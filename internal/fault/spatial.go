@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,6 +47,14 @@ func campaignCacheConfig() cache.Config {
 	return cfg
 }
 
+// CampaignCacheConfig exposes the campaign layout to the experiments
+// profiler, which runs every scheme over the same array.
+func CampaignCacheConfig() cache.Config { return campaignCacheConfig() }
+
+// InterleavedCampaignConfig exposes the bit-interleaved campaign layout
+// (the SECDED pairing) to external drivers.
+func InterleavedCampaignConfig() cache.Config { return interleavedCampaignConfig() }
+
 // interleavedCampaignConfig is the campaign cache with 8-way physical bit
 // interleaving (8 words per row), the layout the paper pairs with SECDED.
 func interleavedCampaignConfig() cache.Config {
@@ -74,8 +83,18 @@ func RunSpatialTrialsInterleaved(mk SchemeFactory, h, w, trials int, seed int64)
 
 // RunSpatialTrialsCfg runs spatial trials over an explicit cache layout.
 func RunSpatialTrialsCfg(ccfg cache.Config, mk SchemeFactory, h, w, trials int, seed int64) Counts {
+	out, _ := RunSpatialTrialsCfgCtx(context.Background(), ccfg, mk, h, w, trials, seed)
+	return out
+}
+
+// RunSpatialTrialsCfgCtx is RunSpatialTrialsCfg with cooperative
+// cancellation, polled between trials.
+func RunSpatialTrialsCfgCtx(ctx context.Context, ccfg cache.Config, mk SchemeFactory, h, w, trials int, seed int64) (Counts, error) {
 	var out Counts
 	for i := 0; i < trials; i++ {
+		if err := ctx.Err(); err != nil {
+			return Counts{}, err
+		}
 		c := cache.New(ccfg)
 		mem := cache.NewMemory(32, 100)
 		ct := protect.NewController(c, mk(c), mem)
@@ -94,14 +113,24 @@ func RunSpatialTrialsCfg(ccfg cache.Config, mk SchemeFactory, h, w, trials int, 
 			out.SDC++
 		}
 	}
-	return out
+	return out, nil
 }
 
 // RunTemporalTrials injects `bits` independent single-bit flips at random
 // resident words (temporal multi-bit when bits > 1), per trial.
 func RunTemporalTrials(mk SchemeFactory, bits, trials int, seed int64) Counts {
+	out, _ := RunTemporalTrialsCtx(context.Background(), mk, bits, trials, seed)
+	return out
+}
+
+// RunTemporalTrialsCtx is RunTemporalTrials with cooperative
+// cancellation, polled between trials.
+func RunTemporalTrialsCtx(ctx context.Context, mk SchemeFactory, bits, trials int, seed int64) (Counts, error) {
 	var out Counts
 	for i := 0; i < trials; i++ {
+		if err := ctx.Err(); err != nil {
+			return Counts{}, err
+		}
 		c := cache.New(campaignCacheConfig())
 		mem := cache.NewMemory(32, 100)
 		ct := protect.NewController(c, mk(c), mem)
@@ -123,13 +152,30 @@ func RunTemporalTrials(mk SchemeFactory, bits, trials int, seed int64) Counts {
 			out.SDC++
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CoverageMatrix sweeps spatial squares from 1x1 to maxSize x maxSize and
 // returns the per-shape counts, indexed [height-1][width-1].
 func CoverageMatrix(mk SchemeFactory, maxSize, trials int, seed int64) [][]Counts {
 	return CoverageMatrixCfg(campaignCacheConfig(), mk, maxSize, trials, seed)
+}
+
+// CoverageMatrixCfgCtx is CoverageMatrixCfg with cooperative
+// cancellation, polled between trial batches.
+func CoverageMatrixCfgCtx(ctx context.Context, ccfg cache.Config, mk SchemeFactory, maxSize, trials int, seed int64) ([][]Counts, error) {
+	m := make([][]Counts, maxSize)
+	for h := 1; h <= maxSize; h++ {
+		m[h-1] = make([]Counts, maxSize)
+		for w := 1; w <= maxSize; w++ {
+			counts, err := RunSpatialTrialsCfgCtx(ctx, ccfg, mk, h, w, trials, seed+int64(h*100+w))
+			if err != nil {
+				return nil, err
+			}
+			m[h-1][w-1] = counts
+		}
+	}
+	return m, nil
 }
 
 // CoverageMatrixInterleaved is CoverageMatrix over the bit-interleaved
@@ -140,13 +186,7 @@ func CoverageMatrixInterleaved(mk SchemeFactory, maxSize, trials int, seed int64
 
 // CoverageMatrixCfg sweeps spatial squares over an explicit cache layout.
 func CoverageMatrixCfg(ccfg cache.Config, mk SchemeFactory, maxSize, trials int, seed int64) [][]Counts {
-	m := make([][]Counts, maxSize)
-	for h := 1; h <= maxSize; h++ {
-		m[h-1] = make([]Counts, maxSize)
-		for w := 1; w <= maxSize; w++ {
-			m[h-1][w-1] = RunSpatialTrialsCfg(ccfg, mk, h, w, trials, seed+int64(h*100+w))
-		}
-	}
+	m, _ := CoverageMatrixCfgCtx(context.Background(), ccfg, mk, maxSize, trials, seed)
 	return m
 }
 

@@ -31,6 +31,7 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -70,6 +71,13 @@ type Config struct {
 	PollInterval time.Duration // steal/wait poll cadence; <= 0 means 250ms
 	ClaimTTL     time.Duration // claim expiry; <= 0 means max(30s, 4*PeerTimeout)
 	StealBatch   int           // max cells stolen per poll; <= 0 means 2
+
+	// Token is an optional shared secret. When set, every /fleet/*
+	// request must carry it in X-Fleet-Token (checked with a
+	// constant-time compare) and the node sends it on every peer
+	// request, so fleet mode is deployable off-loopback. Every daemon
+	// in a fleet must agree on the token.
+	Token string
 
 	Logf func(format string, args ...any) // nil means silent
 }
@@ -524,6 +532,9 @@ func (n *Node) do(method, url string, body io.Reader) (*http.Response, error) {
 		cancel()
 		return nil, err
 	}
+	if n.cfg.Token != "" {
+		req.Header.Set(tokenHeader, n.cfg.Token)
+	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		cancel()
@@ -660,8 +671,12 @@ type queueResponse struct {
 	Cells []service.QueuedCell `json:"cells"`
 }
 
+// tokenHeader carries the fleet shared secret on every peer request.
+const tokenHeader = "X-Fleet-Token"
+
 // Handler serves the /fleet/ protocol; mount it on the daemon's mux
-// next to the job API.
+// next to the job API. With Config.Token set, every route requires the
+// matching X-Fleet-Token header.
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /fleet/cells/{hash}", n.handleGetCell)
@@ -669,7 +684,22 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /fleet/claims/{hash}", n.handleClaim)
 	mux.HandleFunc("POST /fleet/claims", n.handleClaimBatch)
 	mux.HandleFunc("GET /fleet/queue", n.handleQueue)
-	return mux
+	if n.cfg.Token == "" {
+		return mux
+	}
+	want := []byte(n.cfg.Token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get(tokenHeader))
+		// subtle.ConstantTimeCompare is length-leaking by contract (it
+		// returns 0 immediately on mismatched lengths), which is fine:
+		// the length of the secret is not the secret.
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			n.bump("auth_rejected")
+			http.Error(w, "bad fleet token", http.StatusUnauthorized)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (n *Node) handleGetCell(w http.ResponseWriter, r *http.Request) {

@@ -1,23 +1,24 @@
-package trace
+package lfrng
 
 import (
 	"math/rand"
 	"testing"
 )
 
-// TestLFRandMatchesMathRand locks lfRand to the stdlib stream: for the
+// TestLFRandMatchesMathRand locks Rand to the stdlib stream: for the
 // same seed, an interleaved sequence of every method the generator
 // exposes must match rand.New(rand.NewSource(seed)) draw for draw. The
-// trace generator's determinism guarantee (and therefore every figure's
-// bit-exact reproducibility against earlier releases) rests on this.
+// trace generator's and fault campaigns' determinism guarantees (and
+// therefore every figure's bit-exact reproducibility against earlier
+// releases) rest on this.
 func TestLFRandMatchesMathRand(t *testing.T) {
 	seeds := []int64{0, 1, 42, -7, 89482311, 1<<62 + 12345, -(1 << 40)}
 	sizes := []int{1, 2, 3, 5, 7, 8, 16, 64, 100, 4096, 1 << 20, int32max, int32max + 1, 1 << 40}
 	for _, seed := range seeds {
 		ref := rand.New(rand.NewSource(seed))
-		got := newLFRand(seed)
+		got := New(seed)
 		for i := 0; i < 20000; i++ {
-			switch i % 4 {
+			switch i % 5 {
 			case 0:
 				if g, w := got.Float64(), ref.Float64(); g != w {
 					t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, g, w)
@@ -35,6 +36,10 @@ func TestLFRandMatchesMathRand(t *testing.T) {
 				if g, w := got.Int31(), ref.Int31(); g != w {
 					t.Fatalf("seed %d draw %d: Int31 = %d, want %d", seed, i, g, w)
 				}
+			case 4:
+				if g, w := got.Uint64(), ref.Uint64(); g != w {
+					t.Fatalf("seed %d draw %d: Uint64 = %d, want %d", seed, i, g, w)
+				}
 			}
 		}
 	}
@@ -49,7 +54,21 @@ func TestLFRandIntnPanics(t *testing.T) {
 					t.Errorf("Intn(%d) did not panic", n)
 				}
 			}()
-			newLFRand(1).Intn(n)
+			New(1).Intn(n)
 		}()
+	}
+}
+
+// TestBoundMatchesIntn locks the precomputed-bound path to the plain
+// Intn stream for power-of-two and general bounds.
+func TestBoundMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 100, 607} {
+		a, b := New(9), New(9)
+		bd := MakeBound(n)
+		for i := 0; i < 5000; i++ {
+			if g, w := a.IntnBound(bd), b.Intn(n); g != w {
+				t.Fatalf("n=%d draw %d: IntnBound = %d, Intn = %d", n, i, g, w)
+			}
+		}
 	}
 }

@@ -271,6 +271,10 @@ func (ct *Controller) verifyDirtyGranules(set, way int, now uint64, res *AccessR
 // read-modify-write. Any read must pass the checker: folding a latently
 // corrupted old value into the registers would poison them silently.
 func (ct *Controller) verifyOnRead(set, way, g int, now uint64, res *AccessResult) {
+	// Persistent faults live in the array, not the stored value: consult
+	// the fault plane before the checker so a stuck-at or flickering cell
+	// re-corrupts whatever an earlier correction, refetch or scrub wrote.
+	ct.C.ReassertGranule(set, way, g)
 	status, needRefetch := ct.Scheme.VerifyGranule(set, way, g, now)
 	res.Fault = status
 	switch {
@@ -501,6 +505,7 @@ func (ct *Controller) FetchBlock(addr uint64, dst []uint64, now uint64) int {
 		ct.Stats.LoadHits++
 	}
 	ln := ct.C.Line(set, way)
+	ct.C.ReassertLine(set, way)
 	// Clean line, clean syndromes: the loop below would be a complete
 	// no-op (TouchDirtyG skips clean granules, FaultNone takes no branch),
 	// and the scheme can prove that in one pass.

@@ -16,6 +16,7 @@ type cellResult struct {
 	Multicore *experiments.MulticoreRun   `json:"multicore,omitempty"` // multicore point
 	L3        *experiments.L3Run          `json:"l3,omitempty"`        // l3 bench
 	MC        *experiments.MonteCarloCell `json:"mc,omitempty"`        // montecarlo scheme
+	FieldMC   *experiments.FieldMCCell    `json:"fieldmc,omitempty"`   // fieldmc grid cell
 }
 
 // encodeCell renders a cell result into the canonical bytes every store
@@ -36,7 +37,7 @@ func decodeCell(data []byte) (cellResult, error) {
 	if err := json.Unmarshal(data, &res); err != nil {
 		return cellResult{}, fmt.Errorf("cell decode: %w", err)
 	}
-	if res.Run == nil && res.Multicore == nil && res.L3 == nil && res.MC == nil {
+	if res.Run == nil && res.Multicore == nil && res.L3 == nil && res.MC == nil && res.FieldMC == nil {
 		return cellResult{}, fmt.Errorf("cell decode: empty result")
 	}
 	return res, nil

@@ -781,6 +781,13 @@ func executeCell(ctx context.Context, spec JobSpec) (cellResult, error) {
 			return cellResult{}, err
 		}
 		return cellResult{MC: &cell}, nil
+	case KindFieldMC:
+		pt := experiments.FieldPoint{Footprint: spec.Footprint, Lifetime: spec.Lifetime, Rate: spec.Rate}
+		cell, err := experiments.FieldMCCellCtx(ctx, spec.Scheme, pt, spec.Trials, spec.Seed)
+		if err != nil {
+			return cellResult{}, err
+		}
+		return cellResult{FieldMC: &cell}, nil
 	default:
 		return cellResult{}, fmt.Errorf("job kind %q is not a cell", spec.Kind) // unreachable after planCells
 	}
@@ -847,6 +854,28 @@ func aggregate(spec JobSpec, cells []cellResult) (*Result, error) {
 			mcs = append(mcs, *c.MC)
 		}
 		res.Artifacts["montecarlo"] = experiments.MonteCarloTable(spec.Trials, mcs)
+	case spec.Kind == KindFieldMC && spec.Scheme == "":
+		fcs := make([]experiments.FieldMCCell, 0, len(cells))
+		for i, c := range cells {
+			if c.FieldMC == nil {
+				return nil, fmt.Errorf("fieldmc cell %d missing its campaign", i)
+			}
+			fcs = append(fcs, *c.FieldMC)
+		}
+		res.Artifacts["fieldmc"] = experiments.FieldMCTable(spec.Trials, fcs)
+	case spec.Kind == KindFieldMC:
+		cell := cells[0].FieldMC
+		if cell == nil {
+			return nil, fmt.Errorf("fieldmc cell missing its campaign")
+		}
+		res.Values = map[string]float64{
+			"corrected":     float64(cell.Counts.Corrected),
+			"due":           float64(cell.Counts.DUE),
+			"sdc":           float64(cell.Counts.SDC),
+			"coverage_rate": cell.Counts.CoverageRate(),
+		}
+		res.Artifacts["summary"] = fmt.Sprintf("%s @ %s: %s of %d trials\n",
+			cell.Scheme, cell.Point, cell.Counts.String(), cell.Counts.Total())
 	case spec.Kind == KindMulticore && spec.Sweep:
 		runs := make([]experiments.MulticoreRun, 0, len(cells))
 		for i, c := range cells {

@@ -297,3 +297,67 @@ func TestSweepSpecNormalization(t *testing.T) {
 		t.Fatalf("full campaign did not reuse the single-scheme cell: %+v", m)
 	}
 }
+
+// TestShardedFieldMCByteIdentical requires the sharded fieldmc job — on
+// one worker and on eight — to render the field-mix grid byte-identical
+// to the sequential in-process campaign, and a single-cell job
+// submitted afterwards to complete from the cell cache.
+func TestShardedFieldMCByteIdentical(t *testing.T) {
+	const trials = 2
+	want, err := experiments.FieldMCCtx(context.Background(), trials, 1)
+	if err != nil {
+		t.Fatalf("sequential fieldmc: %v", err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		s := service.New(service.Config{Workers: workers})
+		job := submitSpec(t, s, service.JobSpec{Kind: "fieldmc", Trials: trials})
+		done := waitJob(t, s, job.ID, jobDone, 120*time.Second)
+		wantCells := len(experiments.FieldMCPoints()) * len(experiments.FieldMCSchemes())
+		if done.Progress.Total != wantCells {
+			t.Fatalf("fieldmc sweep plans %d cells, want %d", done.Progress.Total, wantCells)
+		}
+		_, res, err := s.JobResult(job.ID)
+		if err != nil || res == nil {
+			t.Fatalf("fieldmc result on %d workers: %+v, %v", workers, res, err)
+		}
+		if res.Artifacts["fieldmc"] != want {
+			t.Fatalf("fieldmc artifact on %d workers diverges from the sequential campaign", workers)
+		}
+
+		cell := submitSpec(t, s, service.JobSpec{
+			Kind: "fieldmc", Scheme: "cppc",
+			Footprint: "word", Lifetime: "stuck", Rate: "x1", Trials: trials,
+		})
+		waitJob(t, s, cell.ID, jobDone, 60*time.Second)
+		if m := s.Metrics(); m.CellCacheHits == 0 {
+			t.Fatalf("single fieldmc cell did not reuse the sweep's cell: %+v", m)
+		}
+		_, cres, err := s.JobResult(cell.ID)
+		if err != nil || cres == nil || cres.Values["coverage_rate"] == 0 {
+			t.Fatalf("fieldmc cell result = %+v, %v", cres, err)
+		}
+		shutdown(t, s)
+	}
+}
+
+// TestFieldMCSpecNormalization pins the fieldmc spec surface: cell
+// coordinates are all-or-nothing and must name a real grid point.
+func TestFieldMCSpecNormalization(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	defer shutdown(t, s)
+
+	bad := []service.JobSpec{
+		{Kind: "fieldmc", Scheme: "cppc"},                                                     // partial coords
+		{Kind: "fieldmc", Footprint: "word", Lifetime: "stuck", Rate: "x1"},                   // no scheme
+		{Kind: "fieldmc", Scheme: "dram", Footprint: "word", Lifetime: "stuck", Rate: "x1"},   // bad scheme
+		{Kind: "fieldmc", Scheme: "cppc", Footprint: "blob", Lifetime: "stuck", Rate: "x1"},   // bad footprint
+		{Kind: "fieldmc", Scheme: "cppc", Footprint: "word", Lifetime: "stuck", Rate: "x9"},   // bad rate
+		{Kind: "fieldmc", Scheme: "cppc", Footprint: "word", Lifetime: "stuck", Rate: "x1", Sweep: true},
+	}
+	for _, spec := range bad {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("spec %+v accepted, want rejection", spec)
+		}
+	}
+}

@@ -25,6 +25,7 @@ const (
 	KindMonteCarlo = "montecarlo" // PARMA-style Monte-Carlo lifetime campaign
 	KindMulticore  = "multicore"  // timed Sec. 7 multiprocessor cell
 	KindL3         = "l3"         // timed Sec. 7 three-level L3 cell
+	KindFieldMC    = "fieldmc"    // field-mix footprint x lifetime x rate campaign
 )
 
 // suiteArtifacts are the renderable outputs of a suite job, in canonical
@@ -47,7 +48,14 @@ type JobSpec struct {
 	Bench  string `json:"bench,omitempty"`  // simulate: benchmark name
 	Scheme string `json:"scheme,omitempty"` // simulate: protection scheme
 
-	Trials int `json:"trials,omitempty"` // montecarlo: trials per scheme
+	Trials int `json:"trials,omitempty"` // montecarlo/fieldmc: trials per cell
+
+	// Fieldmc cell coordinates (experiments.FieldPoint). All empty on
+	// the sweep form, which plans into every (scheme, point) cell; all
+	// set (with Scheme) on the cell form the sweep shards into.
+	Footprint string `json:"footprint,omitempty"` // word | col | row | bank
+	Lifetime  string `json:"lifetime,omitempty"`  // transient | intermittent | stuck
+	Rate      string `json:"rate,omitempty"`      // x1 | x4
 
 	// Multicore jobs: core count and the fraction of each core's memory
 	// accesses that target the shared region.
@@ -87,10 +95,10 @@ func parseScheme(name string) (experiments.SchemeID, error) {
 func (s JobSpec) normalize() (JobSpec, error) {
 	n := s
 	switch n.Kind {
-	case KindSuite, KindSimulate, KindMonteCarlo, KindMulticore, KindL3:
+	case KindSuite, KindSimulate, KindMonteCarlo, KindMulticore, KindL3, KindFieldMC:
 	case "":
-		return n, fmt.Errorf("missing job kind (want %s, %s, %s, %s or %s)",
-			KindSuite, KindSimulate, KindMonteCarlo, KindMulticore, KindL3)
+		return n, fmt.Errorf("missing job kind (want %s, %s, %s, %s, %s or %s)",
+			KindSuite, KindSimulate, KindMonteCarlo, KindMulticore, KindL3, KindFieldMC)
 	default:
 		return n, fmt.Errorf("unknown job kind %q", n.Kind)
 	}
@@ -207,6 +215,46 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		}
 		n.Trials = 0
 		n.Figures = nil
+	case KindFieldMC:
+		if n.Bench != "" {
+			return n, fmt.Errorf("fieldmc jobs take no bench")
+		}
+		coords := 0
+		for _, f := range []string{n.Scheme, n.Footprint, n.Lifetime, n.Rate} {
+			if f != "" {
+				coords++
+			}
+		}
+		switch coords {
+		case 0:
+			// The sweep form: every (scheme, grid point) cell.
+		case 4:
+			// A single grid cell, also addressable directly — it shares
+			// its cache entry with the sweep's shard.
+			known := false
+			for _, sch := range experiments.FieldMCSchemes() {
+				known = known || sch == n.Scheme
+			}
+			if !known {
+				return n, fmt.Errorf("unknown fieldmc scheme %q (want one of %v)",
+					n.Scheme, experiments.FieldMCSchemes())
+			}
+			pt := experiments.FieldPoint{Footprint: n.Footprint, Lifetime: n.Lifetime, Rate: n.Rate}
+			knownPt := false
+			for _, p := range experiments.FieldMCPoints() {
+				knownPt = knownPt || p == pt
+			}
+			if !knownPt {
+				return n, fmt.Errorf("unknown fieldmc grid point %s (want footprint word|col|row|bank, lifetime transient|intermittent|stuck, rate x1|x4)", pt)
+			}
+		default:
+			return n, fmt.Errorf("fieldmc jobs take either none or all of scheme/footprint/lifetime/rate")
+		}
+		if n.Trials <= 0 {
+			n.Trials = 20
+		}
+		n.Figures = nil
+		n.Budget, n.Warmup, n.Measure = "", 0, 0 // campaigns have their own horizon
 	case KindL3:
 		if n.Scheme != "" {
 			return n, fmt.Errorf("l3 jobs take no scheme (parity vs. CPPC placement is the experiment)")
@@ -228,6 +276,9 @@ func (s JobSpec) normalize() (JobSpec, error) {
 	}
 	if n.Kind != KindMulticore {
 		n.Cores, n.SharedFrac = 0, 0
+	}
+	if n.Kind != KindFieldMC {
+		n.Footprint, n.Lifetime, n.Rate = "", "", ""
 	}
 	return n, nil
 }
@@ -279,6 +330,20 @@ func planCells(n JobSpec) []JobSpec {
 		cells := make([]JobSpec, 0, len(schemes))
 		for _, sch := range schemes {
 			cells = append(cells, cell(JobSpec{Kind: KindMonteCarlo, Scheme: sch, Trials: n.Trials, Seed: n.Seed}))
+		}
+		return cells
+	case n.Kind == KindFieldMC && n.Scheme == "":
+		// Point-major, scheme-minor: the order FieldMCTable consumes.
+		pts := experiments.FieldMCPoints()
+		schemes := experiments.FieldMCSchemes()
+		cells := make([]JobSpec, 0, len(pts)*len(schemes))
+		for _, pt := range pts {
+			for _, sch := range schemes {
+				cells = append(cells, cell(JobSpec{
+					Kind: KindFieldMC, Scheme: sch, Trials: n.Trials, Seed: n.Seed,
+					Footprint: pt.Footprint, Lifetime: pt.Lifetime, Rate: pt.Rate,
+				}))
+			}
 		}
 		return cells
 	default:

@@ -133,7 +133,7 @@ func TestCoreGenMemoMatchesStream(t *testing.T) {
 			s := int64(5) + int64(i)*0x9e3779b9
 			base := p.NewGen(s)
 			var coin lfRand
-			coin.seed(s ^ 0x5deece66d)
+			coin.Seed(s ^ 0x5deece66d)
 
 			const n = 700
 			got := make([]Instr, n)

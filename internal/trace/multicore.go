@@ -95,7 +95,7 @@ func (p Profile) initCoreGen(g *CoreGen, i int, sharedFrac float64, seed int64) 
 			sharedFrac: sharedFrac,
 			offset:     uint64(i+1) * stride,
 		}
-		r.coin.seed(s ^ 0x5deece66d)
+		r.coin.Seed(s ^ 0x5deece66d)
 		return r
 	})
 	g.MemoGen = MemoGen{s: stream}

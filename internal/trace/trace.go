@@ -114,7 +114,7 @@ func (p Profile) NewGen(seed int64) *Gen {
 // used where the Gen is embedded in a larger structure.
 func (p Profile) initGen(g *Gen, seed int64) {
 	*g = Gen{p: p}
-	g.rng.seed(seed)
+	g.rng.Seed(seed)
 	if p.DepDistance > 0 {
 		g.depB = makeBound(p.DepDistance)
 		g.dep2B = makeBound(p.DepDistance * 2)
@@ -162,9 +162,9 @@ func (g *Gen) Next() Instr {
 	}
 	// Register dependencies: geometric-ish around DepDistance.
 	if p.DepDistance > 0 {
-		in.Dep1 = int32(1 + g.rng.intn(g.depB))
+		in.Dep1 = int32(1 + g.rng.IntnBound(g.depB))
 		if g.rng.Int31()&1 == 0 {
-			in.Dep2 = int32(1 + g.rng.intn(g.dep2B))
+			in.Dep2 = int32(1 + g.rng.IntnBound(g.dep2B))
 		}
 	}
 	return in
@@ -190,7 +190,7 @@ func (g *Gen) address(isStore bool) uint64 {
 		rehit = p.StoreRehit
 	}
 	if g.rng.Float64() < rehit {
-		if a := g.recentStores[g.rng.intn(g.rsB)]; a != 0 {
+		if a := g.recentStores[g.rng.IntnBound(g.rsB)]; a != 0 {
 			return a
 		}
 	}
@@ -229,8 +229,8 @@ func (g *Gen) address(isStore bool) uint64 {
 		return g.seqAddr
 	case r < p.SeqFrac+p.HotFrac:
 		// Read-mostly hot window (stack reads, hot heap).
-		return g.hotBase + uint64(g.rng.intn(g.hotB))*8
+		return g.hotBase + uint64(g.rng.IntnBound(g.hotB))*8
 	default:
-		return uint64(g.rng.intn(g.wsB)) * 8
+		return uint64(g.rng.IntnBound(g.wsB)) * 8
 	}
 }
