@@ -234,9 +234,28 @@ var entries = []struct {
 		}
 		bud := experiments.Budget{Warmup: 5_000, Measure: 15_000, Seed: 1}
 		for i := 0; i < b.N; i++ {
-			run, err := experiments.MulticoreCell(p, 2, 0.3, bud)
+			run, err := experiments.MulticoreCell(p, 2, 0.3, false, bud)
 			if err != nil || run.CPI <= 0 {
 				panic(fmt.Sprintf("multicore cell broke: cpi=%v err=%v", run.CPI, err))
+			}
+		}
+	}},
+	{"MulticoreEnergy", func(b *testing.B) {
+		b.ReportAllocs()
+		// The silent-store variant of the multicore cell: same timing, but
+		// the energy accounting path (per-engine fold/elision counts, three
+		// energy reports, bus model) is exercised end to end. Guards the
+		// cost of the elision compare on the store path and of the
+		// post-measure energy accounting.
+		p, ok := trace.ProfileByName("gzip")
+		if !ok {
+			panic("missing profile gzip")
+		}
+		bud := experiments.Budget{Warmup: 5_000, Measure: 15_000, Seed: 1}
+		for i := 0; i < b.N; i++ {
+			run, err := experiments.MulticoreCell(p, 2, 0.3, true, bud)
+			if err != nil || run.TotalEnergyPJ() <= 0 {
+				panic(fmt.Sprintf("multicore energy cell broke: e=%v err=%v", run.TotalEnergyPJ(), err))
 			}
 		}
 	}},

@@ -177,6 +177,7 @@ func main() {
 			func() (string, error) { return experiments.SinglePortAblation(budget) },
 			func() (string, error) { return experiments.EarlyWritebackAblation(200_000, *seed) },
 			func() (string, error) { return experiments.ICacheAblation(budget) },
+			func() (string, error) { return experiments.SilentStoreAblation(budget) },
 		} {
 			out, err := run()
 			if err != nil {

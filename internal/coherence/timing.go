@@ -80,16 +80,26 @@ func (p CorePort) Halted() bool                      { return p.m.L1s[p.core].Ha
 func (p CorePort) PrivateHierarchy() bool { return false }
 
 // ResetStats clears every counter after warm-up so a measurement window
-// starts clean. Bus reservations are cycle-absolute and deliberately not
-// reset.
+// starts clean: cache statistics, occupancy sampling, AND each scheme's
+// engine event counters (CPPC folds, recoveries, elided silent stores).
+// The event reset mirrors cpu.(*System).ResetStats — resetting the cache
+// stats but letting fold counts keep their warmup contribution would
+// inflate every multicore energy figure built from them. Bus reservations
+// are cycle-absolute and deliberately not reset.
 func (m *Multiprocessor) ResetStats() {
 	m.Stats = Stats{}
 	for _, l1 := range m.L1s {
 		l1.Stats = cache.Stats{}
 		l1.C.ResetSampling()
+		if r, ok := l1.Scheme.(protect.EventResetter); ok {
+			r.ResetEvents()
+		}
 	}
 	m.L2.Stats = cache.Stats{}
 	m.L2.C.ResetSampling()
+	if r, ok := m.L2.Scheme.(protect.EventResetter); ok {
+		r.ResetEvents()
+	}
 	m.Mem.Fetches, m.Mem.WriteBacks = 0, 0
 }
 

@@ -40,6 +40,16 @@ type Config struct {
 	// ByteShifting enables the barrel-shifter rotation of Sec. 4.3. With 8
 	// register pairs it is unnecessary (Sec. 4.11) and may be disabled.
 	ByteShifting bool
+
+	// SilentStoreElision enables the near-free optimization from the
+	// silent-write ECC literature: the incremental check-bit path already
+	// computes old^new on every store to a dirty granule, so detecting a
+	// silent store (old == new) costs one compare. An elided store skips
+	// the data-array write and both register folds — safe because a
+	// verified old equal to new contributes identically to R1 and R2,
+	// leaving R1^R2, the check bits and every detection outcome unchanged
+	// — and is counted in Events.SilentStoresElided for the energy model.
+	SilentStoreElision bool
 }
 
 // Validate checks the configuration.
@@ -88,6 +98,21 @@ func DefaultL1Config() Config {
 // shifting.
 func DefaultL2Config() Config {
 	return Config{ParityDegree: 8, RegisterPairs: 1, ByteShifting: true}
+}
+
+// SilentL1Config is DefaultL1Config with silent-store elision enabled
+// (the cppc-silent ablation).
+func SilentL1Config() Config {
+	c := DefaultL1Config()
+	c.SilentStoreElision = true
+	return c
+}
+
+// SilentL2Config is DefaultL2Config with silent-store elision enabled.
+func SilentL2Config() Config {
+	c := DefaultL2Config()
+	c.SilentStoreElision = true
+	return c
 }
 
 // FullCorrectionConfig is the Sec. 4.11 design: eight register pairs, no

@@ -21,6 +21,10 @@ type Events struct {
 	LocatorRuns     uint64
 	DUEs            uint64 // detected unrecoverable errors (step 7 halt)
 	RegisterScrubs  uint64 // register faults repaired from the cache (Sec. 4.9)
+	// SilentStoresElided counts stores skipped because the new value
+	// equaled the verified old one (Config.SilentStoreElision): no array
+	// write, no folds — the energy model subtracts both.
+	SilentStoresElided uint64
 }
 
 // Engine attaches CPPC protection to a cache. It owns the register pairs
@@ -266,6 +270,18 @@ func (e *Engine) OnStore(set, way, g int, old []uint64, wasDirty, oldVerified bo
 	pair, rot := e.geomOf(set, way, g)
 	ln := e.C.Line(set, way)
 	data := e.GranuleData(ln, g)
+	if e.Cfg.SilentStoreElision && oldVerified && wasDirty && silentStore(old, data) {
+		// The store is silent: the verified old value equals the new one.
+		// Plain CPPC would fold new into R1 and old into R2 — equal
+		// contributions that cancel in R1^R2 — and XOR a zero delta into
+		// the check bits. Skipping all three is bit-identical for every
+		// detection outcome; only the energy counters differ. The granule
+		// stays dirty (the data is still newer than the next level's), so
+		// only the access timestamp needs refreshing.
+		e.Events.SilentStoresElided++
+		e.C.MarkDirty(set, way, g*e.granuleWords, now)
+		return
+	}
 	e.foldReg(e.r1, e.r1Par, pair, data, rot)
 	if wasDirty {
 		e.foldReg(e.r2, e.r2Par, pair, old, rot)
@@ -281,6 +297,24 @@ func (e *Engine) OnStore(set, way, g int, old []uint64, wasDirty, oldVerified bo
 		return
 	}
 	e.EncodeCheck(set, way, g)
+}
+
+// silentStore reports whether a store left the granule unchanged: every
+// word of the verified old contents equals the resident (new) data. The
+// per-word compare — not a folded XOR, whose multi-word cancellation
+// could alias two opposite changes to zero — is the hardware's one-gate
+// zero check on the old^new delta the incremental check-bit path already
+// computes.
+func silentStore(old, data []uint64) bool {
+	if old == nil || len(old) != len(data) {
+		return false
+	}
+	for j := range data {
+		if old[j] != data[j] {
+			return false
+		}
+	}
+	return true
 }
 
 // OnRemoveDirty records the departure of dirty granule g (write-back or

@@ -577,7 +577,14 @@ func (c *Core) execute(i uint64, in *trace.Instr, t uint64, res *Result) uint64 
 		drain = c.writePort.reserve(drain, 1)
 		c.acc = protect.AccessResult{}
 		r := &c.acc
-		c.Mem.StoreInto(in.Addr, i, drain, r) // stored value is arbitrary for timing
+		// The stored value is arbitrary for timing, but its temporal
+		// locality matters to the silent-store literature: real programs
+		// rewrite the resident value on a large fraction of stores. An
+		// address-keyed value that only advances every 64 instructions
+		// makes quick re-stores of the same location silent (the
+		// store-rehit traffic), while leaving every timing, fold and CPI
+		// statistic untouched — no counted event depends on data values.
+		c.Mem.StoreInto(in.Addr, in.Addr^(i>>6), drain, r)
 		done = t + 1
 		c.lsqRing[c.lsqIdx(c.memIdx)] = drain + uint64(r.Latency-c.hitLat) + 1
 		c.memIdx++

@@ -1,0 +1,79 @@
+package energy
+
+// This file prices the Sec. 7 multiprocessor's bus/directory: the
+// analytical counterpart of the per-cache Model, so the multicore sweeps
+// can report total energy rather than proxying it through the
+// read-before-write ratio. The decomposition follows the same style as
+// the cache model: a fixed per-transaction part (arbitration, address
+// phase, directory lookup) plus a data part that scales with the words
+// moved over the bus segment.
+
+import "cppc/internal/coherence"
+
+// Technology constants (32nm, same calibration base as the cache model).
+const (
+	// busDirLookupPJ is one bus transaction's fixed cost: arbitration,
+	// driving the address phase, and the directory/tag lookup next to the
+	// shared L2 — sized like a small tag array access.
+	busDirLookupPJ = 6.0
+	// busWirePJPerWord is one 64-bit word driven over the bus segment
+	// between an L1 and the shared L2. Long wires at full swing cost more
+	// than a bitline pair; calibrated so moving a 4-word block (~7 pJ)
+	// sits between an L1 access and an L2 access.
+	busWirePJPerWord = 1.8
+	// busInvalidatePJ is the per-copy cost of killing a remote sharer: a
+	// snoop tag lookup in the victim L1 plus the acknowledgement wire.
+	busInvalidatePJ = 1.2
+)
+
+// BusModel prices the protocol events of the bus/directory.
+type BusModel struct {
+	// BlockWords is the 64-bit words moved by one data transfer (an L1
+	// block: a fill toward the requester or an owner-flush write-back).
+	BlockWords int
+}
+
+// NewBus builds the bus model for a hierarchy with the given L1 block
+// size in words.
+func NewBus(blockWords int) *BusModel {
+	if blockWords < 1 {
+		blockWords = 1
+	}
+	return &BusModel{BlockWords: blockWords}
+}
+
+// Transaction is the fixed cost of one address-phase transaction
+// (BusRead or BusReadX).
+func (bm *BusModel) Transaction() float64 { return busDirLookupPJ }
+
+// Transfer is the cost of moving one block of data over the bus.
+func (bm *BusModel) Transfer() float64 { return float64(bm.BlockWords) * busWirePJPerWord }
+
+// Invalidate is the per-copy cost of killing a remote sharer.
+func (bm *BusModel) Invalidate() float64 { return busInvalidatePJ }
+
+// CountCoherence applies the bus model to a run's protocol statistics.
+// The Report's fields are used by role:
+//
+//   - ReadPJ: BusReads — address phase plus the block transfer toward
+//     the requester;
+//   - WritePJ: BusReadX address phases plus the per-copy invalidation
+//     acks (ownership claims move no data themselves; the requester's
+//     fill is counted by its own BusRead or L2 access);
+//   - RBWPJ: owner flushes and owner-writeback invalidations — the
+//     block-sized write-back transfers a remote Modified copy performs
+//     before the requester may proceed (the bus fabric's analogue of a
+//     read-before-write);
+//   - FoldPJ: zero (registers live in the cache models).
+//
+// stats must cover the same measurement window as the cache reports the
+// total is summed with.
+func CountCoherence(st coherence.Stats, bm *BusModel) Report {
+	var r Report
+	r.ReadPJ = float64(st.BusReads) * (bm.Transaction() + bm.Transfer())
+	r.WritePJ = float64(st.BusReadX)*bm.Transaction() +
+		float64(st.Invalidations)*bm.Invalidate()
+	r.RBWPJ = float64(st.OwnerFlushes+st.OwnerWritebackInvalidations) *
+		(bm.Transaction() + bm.Transfer())
+	return r
+}

@@ -138,10 +138,26 @@ type Report struct {
 // Total sums the components.
 func (r Report) Total() float64 { return r.ReadPJ + r.WritePJ + r.RBWPJ + r.FoldPJ }
 
+// Add accumulates another report component-wise (summing the per-L1
+// reports of a multiprocessor into one L1-level total).
+func (r *Report) Add(o Report) {
+	r.ReadPJ += o.ReadPJ
+	r.WritePJ += o.WritePJ
+	r.RBWPJ += o.RBWPJ
+	r.FoldPJ += o.FoldPJ
+}
+
 // Ratio is the figure normalization: this report's total over base's
 // (e.g. CPPC over parity-1d). Both reports must be counted over the same
-// measurement window; NaN when base is empty.
-func (r Report) Ratio(base Report) float64 { return r.Total() / base.Total() }
+// measurement window; NaN when base is empty — an empty base means the
+// window counted nothing to normalize against, and +Inf would silently
+// survive into averages where NaN visibly poisons them.
+func (r Report) Ratio(base Report) float64 {
+	if base.Total() == 0 {
+		return math.NaN()
+	}
+	return r.Total() / base.Total()
+}
 
 // Count applies the model to a run's cache statistics. accessWords is the
 // width of a demand access in words (1 for an L1 fed by a processor,
@@ -150,9 +166,23 @@ func (r Report) Ratio(base Report) float64 { return r.Total() / base.Total() }
 // measurement window — resetting one at a warmup boundary but not the
 // other skews every ratio built from the report.
 func Count(st cache.Stats, m *Model, accessWords int, folds uint64) Report {
+	return CountElided(st, m, accessWords, folds, 0)
+}
+
+// CountElided is Count for schemes that elide silent stores: elided is
+// the number of store hits whose data-array write was skipped because the
+// stored value equaled the resident one (detected for free on the
+// incremental check-bit path). Each elided store keeps its
+// read-before-write energy — the old value was still read to detect the
+// silence — but pays no array write, and its skipped folds are already
+// absent from the folds counter.
+func CountElided(st cache.Stats, m *Model, accessWords int, folds, elided uint64) Report {
 	var r Report
+	if elided > st.StoreHits {
+		elided = st.StoreHits // counters from mismatched windows; don't go negative
+	}
 	r.ReadPJ = float64(st.LoadHits) * m.Read(accessWords)
-	r.WritePJ = float64(st.StoreHits) * m.Write(accessWords)
+	r.WritePJ = float64(st.StoreHits-elided) * m.Write(accessWords)
 	// Read-before-writes: word-wide except the whole-line victim reads
 	// two-dimensional parity performs on miss fills.
 	wordRBW := st.ReadBeforeWrite - st.RBWOnMissLines

@@ -1,9 +1,11 @@
 package energy
 
 import (
+	"math"
 	"testing"
 
 	"cppc/internal/cache"
+	"cppc/internal/coherence"
 )
 
 func l1Model(check int, blf float64) *Model { return New(cache.L1DConfig(), check, blf) }
@@ -112,5 +114,76 @@ func TestDefaultBitlineFactor(t *testing.T) {
 	m := New(cache.L1DConfig(), 8, 0) // 0 coerced to 1
 	if m.BitlineFactor != 1 {
 		t.Errorf("BitlineFactor = %v", m.BitlineFactor)
+	}
+}
+
+func TestRatioNaNOnEmptyBase(t *testing.T) {
+	full := Report{ReadPJ: 10}
+	if r := full.Ratio(Report{}); !math.IsNaN(r) {
+		t.Errorf("ratio over empty base = %v, want NaN", r)
+	}
+	if r := (Report{}).Ratio(Report{}); !math.IsNaN(r) {
+		t.Errorf("empty/empty ratio = %v, want NaN", r)
+	}
+	if r := full.Ratio(Report{ReadPJ: 5}); r != 2 {
+		t.Errorf("ratio = %v, want 2", r)
+	}
+}
+
+func TestCountElidedSavesWriteEnergyOnly(t *testing.T) {
+	m := l1Model(8, 1)
+	st := cache.Stats{LoadHits: 100, StoreHits: 50, ReadBeforeWrite: 20, RBWOnMissLines: 5}
+	plain := Count(st, m, 1, 10)
+	elided := CountElided(st, m, 1, 10, 30)
+	if elided.WritePJ != 20*m.Write(1) {
+		t.Errorf("WritePJ = %v, want %v", elided.WritePJ, 20*m.Write(1))
+	}
+	// Elided stores keep their read-before-write (the silence was
+	// detected on that read); only the array write is saved.
+	if elided.ReadPJ != plain.ReadPJ || elided.RBWPJ != plain.RBWPJ || elided.FoldPJ != plain.FoldPJ {
+		t.Errorf("elision changed non-write components: %+v vs %+v", elided, plain)
+	}
+	if elided.Total() >= plain.Total() {
+		t.Error("elision did not lower total energy")
+	}
+	// Counter clamp: elided beyond store hits zeroes rather than going
+	// negative.
+	if r := CountElided(st, m, 1, 0, 1000); r.WritePJ != 0 {
+		t.Errorf("clamped WritePJ = %v, want 0", r.WritePJ)
+	}
+}
+
+func TestCountCoherenceRoleMapping(t *testing.T) {
+	bm := NewBus(4)
+	st := coherence.Stats{
+		BusReads: 10, BusReadX: 7, Invalidations: 5,
+		OwnerFlushes: 3, OwnerWritebackInvalidations: 2,
+	}
+	r := CountCoherence(st, bm)
+	if want := 10 * (bm.Transaction() + bm.Transfer()); r.ReadPJ != want {
+		t.Errorf("ReadPJ = %v, want %v", r.ReadPJ, want)
+	}
+	if want := 7*bm.Transaction() + 5*bm.Invalidate(); r.WritePJ != want {
+		t.Errorf("WritePJ = %v, want %v", r.WritePJ, want)
+	}
+	if want := 5 * (bm.Transaction() + bm.Transfer()); r.RBWPJ != want {
+		t.Errorf("RBWPJ = %v, want %v", r.RBWPJ, want)
+	}
+	if r.FoldPJ != 0 {
+		t.Errorf("FoldPJ = %v, want 0 (registers live in the cache models)", r.FoldPJ)
+	}
+	if z := CountCoherence(coherence.Stats{}, bm); z.Total() != 0 {
+		t.Errorf("idle bus burned %v pJ", z.Total())
+	}
+	if NewBus(0).BlockWords != 1 {
+		t.Error("NewBus did not clamp block words to 1")
+	}
+}
+
+func TestReportAdd(t *testing.T) {
+	a := Report{ReadPJ: 1, WritePJ: 2, RBWPJ: 3, FoldPJ: 4}
+	a.Add(Report{ReadPJ: 10, WritePJ: 20, RBWPJ: 30, FoldPJ: 40})
+	if a != (Report{ReadPJ: 11, WritePJ: 22, RBWPJ: 33, FoldPJ: 44}) {
+		t.Errorf("Add = %+v", a)
 	}
 }

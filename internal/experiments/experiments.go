@@ -36,7 +36,9 @@ func DefaultBudget() Budget { return Budget{Warmup: 500_000, Measure: 1_500_000,
 // QuickBudget keeps test and benchmark runtime low.
 func QuickBudget() Budget { return Budget{Warmup: 150_000, Measure: 300_000, Seed: 1} }
 
-// SchemeID names the four evaluated protections.
+// SchemeID names the evaluated protections: the paper's four, plus the
+// silent-store-elision CPPC variant (an ablation outside the committed
+// figure matrix — SuiteCells stays at the paper's four schemes).
 type SchemeID int
 
 const (
@@ -44,10 +46,11 @@ const (
 	CPPC
 	SECDED
 	TwoDim
+	CPPCSilent
 )
 
 func (s SchemeID) String() string {
-	return [...]string{"parity-1d", "cppc", "secded", "parity-2d"}[s]
+	return [...]string{"parity-1d", "cppc", "secded", "parity-2d", "cppc-silent"}[s]
 }
 
 // schemeFactories returns the (L1, L2) factories for one scheme, in the
@@ -62,9 +65,15 @@ func schemeFactories(id SchemeID) (l1, l2 cpu.SchemeFactory) {
 		return cpu.SECDEDFactory(true), cpu.SECDEDFactory(true)
 	case TwoDim:
 		return cpu.TwoDimFactory(), cpu.TwoDimFactory()
+	case CPPCSilent:
+		return cpu.CPPCFactory(core.SilentL1Config()), cpu.CPPCFactory(core.SilentL2Config())
 	}
 	panic("unknown scheme")
 }
+
+// isCPPC reports whether a scheme carries a CPPC engine whose event
+// counters (folds, elided stores) feed the energy model.
+func isCPPC(id SchemeID) bool { return id == CPPC || id == CPPCSilent }
 
 // Run is one benchmark simulated under one scheme at both levels.
 type Run struct {
@@ -76,6 +85,7 @@ type Run struct {
 	L1Gran struct{ Dirty, Tavg float64 }
 	L2Gran struct{ Dirty, Tavg float64 }
 	Folds  struct{ L1, L2 uint64 } // CPPC register updates
+	Elided struct{ L1, L2 uint64 } // silent stores elided (cppc-silent)
 }
 
 // Simulate runs one benchmark under one scheme and collects everything
@@ -113,11 +123,13 @@ func SimulateSourceCtx(ctx context.Context, name string, src trace.Source, id Sc
 	r.L1Gran.Tavg = sys.L1().C.Tavg()
 	r.L2Gran.Dirty = sys.L2().C.DirtyFraction()
 	r.L2Gran.Tavg = sys.L2().C.Tavg()
-	if id == CPPC {
+	if isCPPC(id) {
 		// Measure-window folds only: RunSourceWarmCtx reset the engine
 		// events together with the cache stats at the warmup boundary.
-		r.Folds.L1 = sys.L1().Scheme.(*protect.CPPCScheme).Engine.Events.Folds
-		r.Folds.L2 = sys.L2().Scheme.(*protect.CPPCScheme).Engine.Events.Folds
+		l1e := sys.L1().Scheme.(*protect.CPPCScheme).Engine.Events
+		l2e := sys.L2().Scheme.(*protect.CPPCScheme).Engine.Events
+		r.Folds.L1, r.Folds.L2 = l1e.Folds, l2e.Folds
+		r.Elided.L1, r.Elided.L2 = l1e.SilentStoresElided, l2e.SilentStoresElided
 	}
 	return r, nil
 }

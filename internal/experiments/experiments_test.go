@@ -173,11 +173,11 @@ func TestMulticoreCellDeterminism(t *testing.T) {
 		t.Fatal("gzip profile missing")
 	}
 	b := Budget{Warmup: 5_000, Measure: 15_000, Seed: 9}
-	r1, err := MulticoreCell(p, 2, 0.5, b)
+	r1, err := MulticoreCell(p, 2, 0.5, false, b)
 	if err != nil {
 		t.Fatalf("first run: %v", err)
 	}
-	r2, err := MulticoreCell(p, 2, 0.5, b)
+	r2, err := MulticoreCell(p, 2, 0.5, false, b)
 	if err != nil {
 		t.Fatalf("second run: %v", err)
 	}

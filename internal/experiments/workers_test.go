@@ -22,13 +22,13 @@ func TestMulticoreCellWorkersBitIdentical(t *testing.T) {
 	}
 	b := Budget{Warmup: 5_000, Measure: 15_000, Seed: 9}
 	for _, cores := range []int{1, 2, 4} {
-		serial, err := MulticoreCellCtx(context.Background(), p, cores, 0.5, b)
+		serial, err := MulticoreCellCtx(context.Background(), p, cores, 0.5, false, b)
 		if err != nil {
 			t.Fatalf("cores=%d serial: %v", cores, err)
 		}
 		for _, workers := range []int{2, 4} {
 			ctx := WithCellWorkers(context.Background(), workers)
-			par, err := MulticoreCellCtx(ctx, p, cores, 0.5, b)
+			par, err := MulticoreCellCtx(ctx, p, cores, 0.5, false, b)
 			if err != nil {
 				t.Fatalf("cores=%d workers=%d: %v", cores, workers, err)
 			}

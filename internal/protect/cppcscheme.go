@@ -40,7 +40,11 @@ func MustCPPC(c *cache.Cache, cfg core.Config) *CPPCScheme {
 
 func (s *CPPCScheme) Kind() Kind { return KindCPPC }
 func (s *CPPCScheme) Name() string {
-	return fmt.Sprintf("cppc-p%d-r%d", s.Engine.Cfg.ParityDegree, s.Engine.Cfg.RegisterPairs)
+	suffix := ""
+	if s.Engine.Cfg.SilentStoreElision {
+		suffix = "-silent"
+	}
+	return fmt.Sprintf("cppc-p%d-r%d%s", s.Engine.Cfg.ParityDegree, s.Engine.Cfg.RegisterPairs, suffix)
 }
 func (s *CPPCScheme) CheckBitsPerGranule() int { return s.Engine.Cfg.ParityDegree }
 func (s *CPPCScheme) BitlineFactor() float64   { return 1 }

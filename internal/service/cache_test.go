@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"cppc/internal/energy"
 	"cppc/internal/experiments"
 )
 
@@ -71,5 +72,38 @@ func TestCellCodecRoundTrip(t *testing.T) {
 		if _, err := decodeCell(bad); err == nil {
 			t.Fatalf("bad blob %q decoded", bad)
 		}
+	}
+}
+
+// TestMulticoreCellCodecRoundTrip pins the multicore cell codec on the
+// fields the Sec. 7 energy columns aggregate from: the per-level energy
+// reports, fold/elision counters and the silent flag must survive the
+// disk/wire encoding exactly, or sharded sweeps would drift from
+// sequential ones.
+func TestMulticoreCellCodecRoundTrip(t *testing.T) {
+	run := experiments.MulticoreRun{
+		Bench: "gzip", Cores: 2, SharedFrac: 0.3, Silent: true,
+		CPI: 1.0625437891234567, Cycles: 123456, Instructions: 30000,
+	}
+	run.L1.StoreHits = 1<<52 + 3
+	run.L2.Misses = 7
+	run.Coherence.Invalidations = 11
+	run.FoldsL1, run.FoldsL2 = 1<<40+1, 17
+	run.ElidedL1, run.ElidedL2 = 99, 3
+	run.EnergyL1 = energy.Report{ReadPJ: 0.12345678901234567, WritePJ: 42.5, RBWPJ: 7, FoldPJ: 1e-9}
+	run.EnergyL2 = energy.Report{ReadPJ: 2}
+	run.EnergyBus = energy.Report{RBWPJ: 3.5}
+	in := cellResult{Multicore: &run}
+
+	data, err := encodeCell(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := decodeCell(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Multicore == nil || *out.Multicore != run {
+		t.Fatalf("round trip lost data: %+v vs %+v", out.Multicore, run)
 	}
 }

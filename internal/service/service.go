@@ -763,7 +763,7 @@ func executeCell(ctx context.Context, spec JobSpec) (cellResult, error) {
 		return cellResult{Run: &run}, nil
 	case KindMulticore:
 		prof, _ := trace.ProfileByName(spec.Bench)
-		run, err := experiments.MulticoreCellCtx(ctx, prof, spec.Cores, spec.SharedFrac, spec.budget())
+		run, err := experiments.MulticoreCellCtx(ctx, prof, spec.Cores, spec.SharedFrac, spec.Silent, spec.budget())
 		if err != nil {
 			return cellResult{}, err
 		}
@@ -905,11 +905,22 @@ func aggregate(spec JobSpec, cells []cellResult) (*Result, error) {
 			"owner_flushes":   float64(run.Coherence.OwnerFlushes),
 			"bus_busy_cycles": float64(run.Coherence.BusBusyCycles),
 			"dirty_l1_frac":   run.DirtyL1,
+			"energy_l1_pj":    run.EnergyL1.Total(),
+			"energy_l2_pj":    run.EnergyL2.Total(),
+			"energy_bus_pj":   run.EnergyBus.Total(),
+			"energy_total_pj": run.TotalEnergyPJ(),
+			"silent_elided":   float64(run.ElidedL1 + run.ElidedL2),
+		}
+		variant := ""
+		if run.Silent {
+			variant = " [silent]"
 		}
 		res.Artifacts["summary"] = fmt.Sprintf(
-			"%s x%d cores (shared %.2f): CPI %.4f over %d cycles; RBW/store %.4f, %d invalidations, %d owner flushes\n",
-			run.Bench, run.Cores, run.SharedFrac, run.CPI, run.Cycles,
-			rbwPerStore, run.Coherence.Invalidations, run.Coherence.OwnerFlushes)
+			"%s x%d cores (shared %.2f)%s: CPI %.4f over %d cycles; RBW/store %.4f, %d invalidations, %d owner flushes; %.1f nJ (L1 %.1f, L2 %.1f, bus %.1f), %d silent stores elided\n",
+			run.Bench, run.Cores, run.SharedFrac, variant, run.CPI, run.Cycles,
+			rbwPerStore, run.Coherence.Invalidations, run.Coherence.OwnerFlushes,
+			run.TotalEnergyPJ()/1e3, run.EnergyL1.Total()/1e3, run.EnergyL2.Total()/1e3, run.EnergyBus.Total()/1e3,
+			run.ElidedL1+run.ElidedL2)
 	case spec.Kind == KindL3 && spec.Sweep:
 		runs := make([]experiments.L3Run, 0, len(cells))
 		for i, c := range cells {

@@ -8,6 +8,7 @@ import (
 
 	"cppc/internal/experiments"
 	"cppc/internal/service"
+	"cppc/internal/trace"
 )
 
 // --- Direct-API helpers -------------------------------------------------
@@ -348,11 +349,11 @@ func TestFieldMCSpecNormalization(t *testing.T) {
 	defer shutdown(t, s)
 
 	bad := []service.JobSpec{
-		{Kind: "fieldmc", Scheme: "cppc"},                                                     // partial coords
-		{Kind: "fieldmc", Footprint: "word", Lifetime: "stuck", Rate: "x1"},                   // no scheme
-		{Kind: "fieldmc", Scheme: "dram", Footprint: "word", Lifetime: "stuck", Rate: "x1"},   // bad scheme
-		{Kind: "fieldmc", Scheme: "cppc", Footprint: "blob", Lifetime: "stuck", Rate: "x1"},   // bad footprint
-		{Kind: "fieldmc", Scheme: "cppc", Footprint: "word", Lifetime: "stuck", Rate: "x9"},   // bad rate
+		{Kind: "fieldmc", Scheme: "cppc"},                                                   // partial coords
+		{Kind: "fieldmc", Footprint: "word", Lifetime: "stuck", Rate: "x1"},                 // no scheme
+		{Kind: "fieldmc", Scheme: "dram", Footprint: "word", Lifetime: "stuck", Rate: "x1"}, // bad scheme
+		{Kind: "fieldmc", Scheme: "cppc", Footprint: "blob", Lifetime: "stuck", Rate: "x1"}, // bad footprint
+		{Kind: "fieldmc", Scheme: "cppc", Footprint: "word", Lifetime: "stuck", Rate: "x9"}, // bad rate
 		{Kind: "fieldmc", Scheme: "cppc", Footprint: "word", Lifetime: "stuck", Rate: "x1", Sweep: true},
 	}
 	for _, spec := range bad {
@@ -360,4 +361,101 @@ func TestFieldMCSpecNormalization(t *testing.T) {
 			t.Errorf("spec %+v accepted, want rejection", spec)
 		}
 	}
+}
+
+// TestShardedSilentSweepByteIdentical requires the silent-store sweep —
+// sharded on one worker and on eight — to render the Sec. 7 table
+// byte-identical to the sequential in-process sweep, and the silent
+// knob to address its own cache cells (a plain point must not hit a
+// silent cell).
+func TestShardedSilentSweepByteIdentical(t *testing.T) {
+	budget := experiments.Budget{Warmup: tinyWarmup, Measure: tinyMeasure, Seed: 1}
+	prof, ok := trace.ProfileByName("gzip")
+	if !ok {
+		t.Fatal("gzip profile missing")
+	}
+	pts := experiments.Section7Points()
+	runs := make([]experiments.MulticoreRun, 0, len(pts))
+	for _, pt := range pts {
+		r, err := experiments.MulticoreCellCtx(context.Background(), prof, pt.Cores, pt.SharedFrac, true, budget)
+		if err != nil {
+			t.Fatalf("sequential silent cell %+v: %v", pt, err)
+		}
+		runs = append(runs, r)
+	}
+	want := experiments.Section7Table(runs)
+
+	for _, workers := range []int{1, 8} {
+		s := service.New(service.Config{Workers: workers})
+		job := submitSpec(t, s, service.JobSpec{
+			Kind: "multicore", Sweep: true, Silent: true, Warmup: tinyWarmup, Measure: tinyMeasure,
+		})
+		waitJob(t, s, job.ID, jobDone, 120*time.Second)
+		_, res, err := s.JobResult(job.ID)
+		if err != nil || res == nil {
+			t.Fatalf("silent sweep result on %d workers: %+v, %v", workers, res, err)
+		}
+		if res.Artifacts["sec7"] != want {
+			t.Fatalf("silent sweep on %d workers diverges from the sequential table:\n%s\nwant:\n%s",
+				workers, res.Artifacts["sec7"], want)
+		}
+		if workers == 1 {
+			// A silent point completes from the sweep's cells; a plain
+			// point at the same coordinates must not.
+			hitsBefore := s.Metrics().CellCacheHits
+			silentPt := submitSpec(t, s, service.JobSpec{
+				Kind: "multicore", Cores: 8, SharedFrac: 0.6, Silent: true,
+				Warmup: tinyWarmup, Measure: tinyMeasure,
+			})
+			waitJob(t, s, silentPt.ID, jobDone, 60*time.Second)
+			if s.Metrics().CellCacheHits == hitsBefore {
+				t.Error("silent point did not reuse the silent sweep's cell")
+			}
+			plainPt := submitSpec(t, s, service.JobSpec{
+				Kind: "multicore", Cores: 8, SharedFrac: 0.6,
+				Warmup: tinyWarmup, Measure: tinyMeasure,
+			})
+			done := waitJob(t, s, plainPt.ID, jobDone, 60*time.Second)
+			if done.CacheHit {
+				t.Error("plain point hit the silent sweep's cache entry")
+			}
+		}
+		shutdown(t, s)
+	}
+}
+
+// TestSilentSpecNormalization: the silent knob belongs to multicore jobs
+// only — on any other kind it is normalized away, so the spellings share
+// one cache identity.
+func TestSilentSpecNormalization(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	defer shutdown(t, s)
+
+	plain, err := s.Submit(service.JobSpec{Kind: "l3", Warmup: tinyWarmup, Measure: tinyMeasure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent, err := s.Submit(service.JobSpec{Kind: "l3", Silent: true, Warmup: tinyWarmup, Measure: tinyMeasure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Hash != silent.Hash {
+		t.Errorf("silent normalized into the l3 hash: %s vs %s", plain.Hash, silent.Hash)
+	}
+	waitJob(t, s, plain.ID, jobDone, 120*time.Second)
+	waitJob(t, s, silent.ID, jobDone, 120*time.Second)
+
+	a, err := s.Submit(service.JobSpec{Kind: "multicore", Cores: 2, SharedFrac: 0.3, Warmup: tinyWarmup, Measure: tinyMeasure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(service.JobSpec{Kind: "multicore", Cores: 2, SharedFrac: 0.3, Silent: true, Warmup: tinyWarmup, Measure: tinyMeasure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash == b.Hash {
+		t.Error("silent multicore point shares the plain point's hash")
+	}
+	waitJob(t, s, a.ID, jobDone, 60*time.Second)
+	waitJob(t, s, b.ID, jobDone, 60*time.Second)
 }

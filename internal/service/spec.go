@@ -58,9 +58,11 @@ type JobSpec struct {
 	Rate      string `json:"rate,omitempty"`      // x1 | x4
 
 	// Multicore jobs: core count and the fraction of each core's memory
-	// accesses that target the shared region.
+	// accesses that target the shared region. Silent selects the
+	// cppc-silent variant (silent-store elision) in both cache levels.
 	Cores      int     `json:"cores,omitempty"`
 	SharedFrac float64 `json:"shared_frac,omitempty"`
+	Silent     bool    `json:"silent,omitempty"`
 
 	// Sweep turns a multicore or l3 job into the full Sec. 7 sweep: the
 	// canonical (cores, shared_frac) matrix over Bench for multicore, the
@@ -82,12 +84,13 @@ type JobSpec struct {
 func parseScheme(name string) (experiments.SchemeID, error) {
 	for _, id := range []experiments.SchemeID{
 		experiments.Parity1D, experiments.CPPC, experiments.SECDED, experiments.TwoDim,
+		experiments.CPPCSilent,
 	} {
 		if id.String() == name {
 			return id, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown scheme %q (want parity-1d, cppc, secded or parity-2d)", name)
+	return 0, fmt.Errorf("unknown scheme %q (want parity-1d, cppc, secded, parity-2d or cppc-silent)", name)
 }
 
 // normalize validates the spec and fills every defaulted field, returning
@@ -275,7 +278,7 @@ func (s JobSpec) normalize() (JobSpec, error) {
 		n.Figures = nil
 	}
 	if n.Kind != KindMulticore {
-		n.Cores, n.SharedFrac = 0, 0
+		n.Cores, n.SharedFrac, n.Silent = 0, 0, false
 	}
 	if n.Kind != KindFieldMC {
 		n.Footprint, n.Lifetime, n.Rate = "", "", ""
@@ -313,6 +316,7 @@ func planCells(n JobSpec) []JobSpec {
 		for _, pt := range pts {
 			c := base
 			c.Kind, c.Bench, c.Cores, c.SharedFrac = KindMulticore, n.Bench, pt.Cores, pt.SharedFrac
+			c.Silent = n.Silent
 			cells = append(cells, cell(c))
 		}
 		return cells
