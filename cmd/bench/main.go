@@ -272,6 +272,33 @@ var entries = []struct {
 			}
 		}
 	}},
+	{"MonteCarloMTTF", func(b *testing.B) {
+		b.ReportAllocs()
+		// One accelerated-rate lifetime cell (the montecarlo job kind's
+		// unit of work): gates the arena-reuse cost of the trial executor
+		// on the longest-running campaign type.
+		for i := 0; i < b.N; i++ {
+			cell, err := experiments.MonteCarloCellCtx(context.Background(), "parity-1d", 4, 1)
+			if err != nil || cell.Res.Trials != 4 {
+				panic(fmt.Sprintf("montecarlo cell broke: %+v err=%v", cell, err))
+			}
+		}
+	}},
+	{"FieldMCParallel8", func(b *testing.B) {
+		b.ReportAllocs()
+		// The FieldMC cell with an 8-worker trial budget: wall clock of
+		// the fan-out path, including executor overhead. On one core this
+		// tracks FieldMC (same trials, plus goroutine bookkeeping); with
+		// the cores present it shows the parallel win.
+		ctx := experiments.WithCellWorkers(context.Background(), 8)
+		pt := experiments.FieldPoint{Footprint: "word", Lifetime: "stuck", Rate: "x1"}
+		for i := 0; i < b.N; i++ {
+			cell, err := experiments.FieldMCCellCtx(ctx, "cppc", pt, 16, 1)
+			if err != nil || cell.Counts.Total() != 16 {
+				panic(fmt.Sprintf("fieldmc parallel cell broke: %+v err=%v", cell, err))
+			}
+		}
+	}},
 	{"L3CPI", func(b *testing.B) {
 		b.ReportAllocs()
 		p, ok := trace.ProfileByName("mcf")

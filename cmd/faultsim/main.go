@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
 	"cppc/internal/cache"
 	"cppc/internal/core"
 	"cppc/internal/fault"
+	"cppc/internal/par"
 	"cppc/internal/protect"
 )
 
@@ -39,6 +41,7 @@ func main() {
 		lambda     = flag.Float64("lambda", 2e-7, "Monte-Carlo fault rate per bit per access")
 		trials     = flag.Int("trials", 50, "trials per shape")
 		seed       = flag.Int64("seed", 1, "rng seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "trial workers per campaign (results are bit-identical at any count)")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
@@ -53,6 +56,10 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// The worker hint fans each campaign's trials across goroutines;
+	// outputs are bit-identical whatever the count (see DESIGN.md,
+	// "Deterministic trial parallelism").
+	ctx = par.WithWorkers(ctx, *parallel)
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "faultsim: interrupted: %v\n", err)
 		os.Exit(1)

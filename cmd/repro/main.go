@@ -25,7 +25,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the reduced instruction budget")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		trials   = flag.Int("trials", 20, "Monte-Carlo trials per fault shape")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations in the suite")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulations in the suite and trial workers per fault campaign")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		table1   = flag.Bool("table1", false, "print Table 1 (configuration)")
 		fig10    = flag.Bool("fig10", false, "reproduce Figure 10 (CPI)")
@@ -134,10 +134,15 @@ func main() {
 	if all || *sec51 {
 		fmt.Println(experiments.Section51Area(1))
 	}
+	// Fault campaigns fan their trials across -parallel workers; the
+	// tables are bit-identical whatever the count (the trial executor
+	// replays its reduction in trial order — DESIGN.md, "Deterministic
+	// trial parallelism").
+	campCtx := experiments.WithCellWorkers(ctx, *parallel)
 	if all || *mc {
 		checkCtx()
 		fmt.Fprintln(os.Stderr, "running Monte-Carlo lifetime campaigns...")
-		out, err := experiments.MonteCarloValidationCtx(ctx, *trials, *seed)
+		out, err := experiments.MonteCarloValidationCtx(campCtx, *trials, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -149,7 +154,7 @@ func main() {
 	if *fieldmc {
 		checkCtx()
 		fmt.Fprintf(os.Stderr, "running field-mix fault campaigns (%d trials/cell)...\n", *trials)
-		out, err := experiments.FieldMCCtx(ctx, *trials, *seed)
+		out, err := experiments.FieldMCCtx(campCtx, *trials, *seed)
 		if err != nil {
 			fail(err)
 		}
@@ -167,12 +172,24 @@ func main() {
 	if all || *coverage {
 		checkCtx()
 		fmt.Fprintf(os.Stderr, "running spatial coverage campaigns (%d trials/shape)...\n", *trials)
-		fmt.Println(experiments.SpatialCoverage(*trials, *seed))
+		out, err := experiments.SpatialCoverageCtx(campCtx, *trials, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
 	}
 	if all || *ablate {
 		checkCtx()
-		fmt.Println(experiments.PairAblation(*trials, *seed))
-		fmt.Println(experiments.ParityAblation(*trials, *seed))
+		for _, run := range []func() (string, error){
+			func() (string, error) { return experiments.PairAblationCtx(campCtx, *trials, *seed) },
+			func() (string, error) { return experiments.ParityAblationCtx(campCtx, *trials, *seed) },
+		} {
+			out, err := run()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(out)
+		}
 		for _, run := range []func() (string, error){
 			func() (string, error) { return experiments.SinglePortAblation(budget) },
 			func() (string, error) { return experiments.EarlyWritebackAblation(200_000, *seed) },

@@ -135,6 +135,10 @@ func (c *Cache) Release() {
 	*a = arena{lines: c.lines, sets: c.sets, tags: c.tags, valids: c.valids, lrus: c.lrus}
 	p.(*sync.Pool).Put(a)
 	c.lines, c.sets, c.tags, c.valids, c.lrus, c.ar = nil, nil, nil, nil, nil, nil
+	if c.plane != nil {
+		planePool.Put(c.plane)
+		c.plane = nil
+	}
 }
 
 // New builds an empty cache from a validated config.

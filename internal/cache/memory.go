@@ -39,6 +39,15 @@ func NewMemory(blockBytes, latency int) *Memory {
 	}
 }
 
+// Reset returns the memory to its freshly-constructed state in place,
+// keeping the word map's buckets: the trial executor's per-worker
+// arenas reuse one Memory across trials instead of cycling it through
+// the pool, so a same-footprint trial never re-grows the map.
+func (m *Memory) Reset() {
+	clear(m.words)
+	m.Fetches, m.WriteBacks = 0, 0
+}
+
 // Release returns the memory's word map to the construction pool. The
 // memory must not be used afterwards.
 func (m *Memory) Release() {

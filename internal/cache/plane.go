@@ -1,6 +1,10 @@
 package cache
 
-import "cppc/internal/lfrng"
+import (
+	"sync"
+
+	"cppc/internal/lfrng"
+)
 
 // The fault plane models faults that live in the physical array rather
 // than in the stored values: a stuck-at cell reads as its stuck value
@@ -50,10 +54,23 @@ type FaultPlane struct {
 	rng    lfrng.Rand
 }
 
+// planePool recycles FaultPlane shells: the embedded lagged-Fibonacci
+// state is ~5KB, and field campaigns arm a fresh plane per trial.
+// Release returns an armed cache's plane here; ArmPlane reseeds the rng
+// and clears the fault map in place, which is behaviourally identical
+// to a fresh plane.
+var planePool = sync.Pool{New: func() any { return new(FaultPlane) }}
+
 // ArmPlane attaches an (empty) fault plane; seed drives the
 // intermittent-fault coin. Arming an already-armed cache resets it.
 func (c *Cache) ArmPlane(seed int64) {
-	p := &FaultPlane{byLine: make(map[int][]planeFault)}
+	p := planePool.Get().(*FaultPlane)
+	if p.byLine == nil {
+		p.byLine = make(map[int][]planeFault)
+	} else {
+		clear(p.byLine)
+	}
+	p.faults = 0
 	p.rng.Seed(seed)
 	c.plane = p
 }

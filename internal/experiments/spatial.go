@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"cppc/internal/cache"
 	"cppc/internal/core"
 	"cppc/internal/fault"
@@ -12,6 +14,14 @@ import (
 // spatial-MBE correction rates for square faults from 1x1 to 8x8, per
 // CPPC configuration, with the baselines alongside.
 func SpatialCoverage(trials int, seed int64) string {
+	s, _ := SpatialCoverageCtx(context.Background(), trials, seed)
+	return s
+}
+
+// SpatialCoverageCtx is SpatialCoverage with cooperative cancellation;
+// each shape's trials fan across the context's worker hint
+// (WithCellWorkers) with bit-identical rates at any count.
+func SpatialCoverageCtx(ctx context.Context, trials int, seed int64) (string, error) {
 	configs := []struct {
 		name string
 		mk   fault.SchemeFactory
@@ -24,17 +34,23 @@ func SpatialCoverage(trials int, seed int64) string {
 	}
 	out := "Secs. 4.6/4.11: spatial-MBE correction rate by square size (rows = height, cols = width)\n"
 	for _, cfg := range configs {
-		m := fault.CoverageMatrix(cfg.mk, 8, trials, seed)
+		m, err := fault.CoverageMatrixCfgCtx(ctx, fault.CampaignCacheConfig(), cfg.mk, 8, trials, seed)
+		if err != nil {
+			return "", err
+		}
 		out += "\n" + cfg.name + ":\n" + fault.FormatMatrix(m)
 	}
 	// SECDED lives on its physically bit-interleaved layout (8 words per
 	// row, adjacent cells from different words): an 8-wide burst becomes
 	// eight single-bit errors, each correctable per codeword.
-	m := fault.CoverageMatrixInterleaved(
+	m, err := fault.CoverageMatrixCfgCtx(ctx, fault.InterleavedCampaignConfig(),
 		func(c *cache.Cache) protect.Scheme { return protect.NewSECDED(c, true) },
 		8, trials, seed)
+	if err != nil {
+		return "", err
+	}
 	out += "\nsecded + 8-way physical bit interleaving:\n" + fault.FormatMatrix(m)
-	return out
+	return out, nil
 }
 
 func cppcF(cfg core.Config) fault.SchemeFactory {
@@ -45,25 +61,45 @@ func cppcF(cfg core.Config) fault.SchemeFactory {
 // 4.6: correction rate of 8x8 faults and aliasing exposure per register
 // pair count.
 func PairAblation(trials int, seed int64) string {
+	s, _ := PairAblationCtx(context.Background(), trials, seed)
+	return s
+}
+
+// PairAblationCtx is PairAblation with cooperative cancellation and
+// trial fan-out up to the context's worker hint.
+func PairAblationCtx(ctx context.Context, trials int, seed int64) (string, error) {
 	t := tables.New("Ablation: register pairs vs. 8x8 spatial coverage",
 		"pairs", "corrected", "DUE", "SDC")
 	for _, pairs := range []int{1, 2, 4, 8} {
 		cfg := core.Config{ParityDegree: 8, RegisterPairs: pairs, ByteShifting: pairs < 8}
-		got := fault.RunSpatialTrials(cppcF(cfg), 8, 8, trials, seed)
+		got, err := fault.RunSpatialTrialsCfgCtx(ctx, fault.CampaignCacheConfig(), cppcF(cfg), 8, 8, trials, seed)
+		if err != nil {
+			return "", err
+		}
 		t.Addf(pairs, got.Corrected, got.DUE, got.SDC)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ParityAblation sweeps the parity degree (Sec. 3.4's first scaling knob)
 // against temporal two-bit faults.
 func ParityAblation(trials int, seed int64) string {
+	s, _ := ParityAblationCtx(context.Background(), trials, seed)
+	return s
+}
+
+// ParityAblationCtx is ParityAblation with cooperative cancellation and
+// trial fan-out up to the context's worker hint.
+func ParityAblationCtx(ctx context.Context, trials int, seed int64) (string, error) {
 	t := tables.New("Ablation: parity degree vs. temporal 2-bit faults",
 		"degree", "corrected", "DUE", "SDC")
 	for _, degree := range []int{1, 2, 4, 8} {
 		cfg := core.Config{ParityDegree: degree, RegisterPairs: 1, ByteShifting: true}
-		got := fault.RunTemporalTrials(cppcF(cfg), 2, trials, seed)
+		got, err := fault.RunTemporalTrialsCtx(ctx, cppcF(cfg), 2, trials, seed)
+		if err != nil {
+			return "", err
+		}
 		t.Addf(degree, got.Corrected, got.DUE, got.SDC)
 	}
-	return t.String()
+	return t.String(), nil
 }

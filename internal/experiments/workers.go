@@ -1,6 +1,10 @@
 package experiments
 
-import "context"
+import (
+	"context"
+
+	"cppc/internal/par"
+)
 
 // The intra-cell parallelism hint rides on the context rather than on
 // Budget or the cell parameters: it is a wall-clock knob, never part of
@@ -8,23 +12,20 @@ import "context"
 // cell cache keys derived from the parameters) are bit-identical
 // whatever the hint says — the scheduler sizes it from transient facts
 // like idle pool workers.
-
-type cellWorkersKey struct{}
+//
+// The key itself lives in internal/par so the fault campaigns (which
+// this package drives, and which cannot import it back) read the same
+// hint: one worker budget flows from the scheduler or a -parallel flag
+// down to both the timed cluster and the trial executor.
 
 // WithCellWorkers returns a context carrying an intra-cell parallelism
 // hint of n goroutines. n < 2 carries nothing (serial).
 func WithCellWorkers(ctx context.Context, n int) context.Context {
-	if n < 2 {
-		return ctx
-	}
-	return context.WithValue(ctx, cellWorkersKey{}, n)
+	return par.WithWorkers(ctx, n)
 }
 
 // CellWorkers returns the intra-cell parallelism hint carried by ctx,
 // or 1 when the context carries none.
 func CellWorkers(ctx context.Context) int {
-	if n, ok := ctx.Value(cellWorkersKey{}).(int); ok && n > 1 {
-		return n
-	}
-	return 1
+	return par.Workers(ctx)
 }

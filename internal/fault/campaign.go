@@ -53,6 +53,8 @@ type Campaign struct {
 	rng    *lfrng.Rand
 	shadow map[uint64]uint64 // golden values of every word the program wrote
 	now    uint64
+
+	probeAddrs []uint64 // Probe's sweep scratch, reused across trials
 }
 
 // New builds a campaign around a controller and its backing memory. The
@@ -60,11 +62,30 @@ type Campaign struct {
 // generator (internal/lfrng), so campaign cells hash identically on
 // every toolchain — a requirement for the fleet cell cache.
 func New(ct *protect.Controller, mem *cache.Memory, seed int64) *Campaign {
-	return &Campaign{
-		Ct: ct, Mem: mem,
-		rng:    lfrng.New(seed),
-		shadow: make(map[uint64]uint64),
+	c := new(Campaign)
+	c.Reset(ct, mem, seed)
+	return c
+}
+
+// Reset re-points a reusable campaign shell at a fresh controller: the
+// rng is reseeded in place (its ~5KB state is the single biggest
+// per-trial allocation), the shadow map is cleared rather than
+// reallocated, and the probe scratch keeps its capacity. A reset shell
+// behaves bit-identically to a freshly New'd campaign — the trial
+// executor's per-worker arenas rely on this.
+func (c *Campaign) Reset(ct *protect.Controller, mem *cache.Memory, seed int64) {
+	c.Ct, c.Mem = ct, mem
+	if c.rng == nil {
+		c.rng = lfrng.New(seed)
+	} else {
+		c.rng.Seed(seed)
 	}
+	if c.shadow == nil {
+		c.shadow = make(map[uint64]uint64)
+	} else {
+		clear(c.shadow)
+	}
+	c.now = 0
 }
 
 // Populate issues n random loads and stores over footprintBytes,
@@ -146,13 +167,14 @@ func popcount(x uint64) int {
 // Probe reads back every word of every valid line through the protection
 // scheme and classifies the campaign outcome.
 func (c *Campaign) Probe() Outcome {
-	var addrs []uint64
+	addrs := c.probeAddrs[:0]
 	c.Ct.C.ForEachValid(func(set, way int, ln *cache.Line) {
 		base := c.Ct.C.BlockAddr(set, way)
 		for w := 0; w < c.Ct.C.Cfg.BlockWords(); w++ {
 			addrs = append(addrs, base+uint64(w*8))
 		}
 	})
+	c.probeAddrs = addrs // keep the grown capacity for the next trial
 	sdc := false
 	for _, a := range addrs {
 		c.now++

@@ -6,7 +6,6 @@ import (
 
 	"cppc/internal/cache"
 	"cppc/internal/geometry"
-	"cppc/internal/protect"
 )
 
 // The FaultModel seam. The original campaigns modelled every fault the
@@ -277,31 +276,28 @@ func RunModelTrials(mk SchemeFactory, m Model, faults, trials int, seed int64) C
 }
 
 // RunModelTrialsCtx is RunModelTrials over an explicit layout with
-// cooperative cancellation (polled between trials).
+// cooperative cancellation (polled between trials) and trial
+// parallelism up to the context's worker hint (par.WithWorkers /
+// experiments.WithCellWorkers). Trial i runs on stream seed+i whatever
+// the worker count, so the counts are bit-identical to the sequential
+// loop's.
 func RunModelTrialsCtx(ctx context.Context, ccfg cache.Config, mk SchemeFactory, m Model, faults, trials int, seed int64) (Counts, error) {
-	var out Counts
-	for i := 0; i < trials; i++ {
-		if err := ctx.Err(); err != nil {
-			return Counts{}, err
-		}
-		c := cache.New(ccfg)
-		mem := cache.NewMemory(32, 100)
-		ct := protect.NewController(c, mk(c), mem)
-		camp := New(ct, mem, seed+int64(i))
+	res, err := runTrials(ctx, trials, func(_ context.Context, a *Arena, i int) (Outcome, error) {
+		camp := a.newCampaign(ccfg, mk, seed+int64(i))
+		defer a.endTrial()
 		camp.Populate(4000, 8192)
 		outcome, failed := camp.Exercise(m, faults, exerciseAccesses, 8192)
 		if !failed {
 			outcome = camp.Probe()
 		}
-		switch outcome {
-		case Corrected:
-			out.Corrected++
-		case DUE:
-			out.DUE++
-		case SDC:
-			out.SDC++
-		}
-		c.Release()
+		return outcome, nil
+	})
+	if err != nil {
+		return Counts{}, err
+	}
+	var out Counts
+	for _, o := range res {
+		out.note(o)
 	}
 	return out, nil
 }

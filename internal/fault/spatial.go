@@ -88,30 +88,26 @@ func RunSpatialTrialsCfg(ccfg cache.Config, mk SchemeFactory, h, w, trials int, 
 }
 
 // RunSpatialTrialsCfgCtx is RunSpatialTrialsCfg with cooperative
-// cancellation, polled between trials.
+// cancellation (polled between trials) and trial parallelism up to the
+// context's worker hint; trial i runs on stream seed+i whatever the
+// worker count, so the counts are bit-identical to the sequential
+// loop's.
 func RunSpatialTrialsCfgCtx(ctx context.Context, ccfg cache.Config, mk SchemeFactory, h, w, trials int, seed int64) (Counts, error) {
-	var out Counts
-	for i := 0; i < trials; i++ {
-		if err := ctx.Err(); err != nil {
-			return Counts{}, err
-		}
-		c := cache.New(ccfg)
-		mem := cache.NewMemory(32, 100)
-		ct := protect.NewController(c, mk(c), mem)
-		camp := New(ct, mem, seed+int64(i))
+	res, err := runTrials(ctx, trials, func(_ context.Context, a *Arena, i int) (Outcome, error) {
+		camp := a.newCampaign(ccfg, mk, seed+int64(i))
+		defer a.endTrial()
 		camp.Populate(4000, 8192)
 		if camp.InjectSpatial(h, w) == 0 {
-			out.Corrected++ // nothing flipped: benign placement
-			continue
+			return Corrected, nil // nothing flipped: benign placement
 		}
-		switch camp.Probe() {
-		case Corrected:
-			out.Corrected++
-		case DUE:
-			out.DUE++
-		case SDC:
-			out.SDC++
-		}
+		return camp.Probe(), nil
+	})
+	if err != nil {
+		return Counts{}, err
+	}
+	var out Counts
+	for _, o := range res {
+		out.note(o)
 	}
 	return out, nil
 }
@@ -124,17 +120,12 @@ func RunTemporalTrials(mk SchemeFactory, bits, trials int, seed int64) Counts {
 }
 
 // RunTemporalTrialsCtx is RunTemporalTrials with cooperative
-// cancellation, polled between trials.
+// cancellation (polled between trials) and trial parallelism up to the
+// context's worker hint; counts are bit-identical at any worker count.
 func RunTemporalTrialsCtx(ctx context.Context, mk SchemeFactory, bits, trials int, seed int64) (Counts, error) {
-	var out Counts
-	for i := 0; i < trials; i++ {
-		if err := ctx.Err(); err != nil {
-			return Counts{}, err
-		}
-		c := cache.New(campaignCacheConfig())
-		mem := cache.NewMemory(32, 100)
-		ct := protect.NewController(c, mk(c), mem)
-		camp := New(ct, mem, seed+int64(i))
+	res, err := runTrials(ctx, trials, func(_ context.Context, a *Arena, i int) (Outcome, error) {
+		camp := a.newCampaign(campaignCacheConfig(), mk, seed+int64(i))
+		defer a.endTrial()
 		camp.Populate(4000, 8192)
 		flipped := 0
 		for flipped < bits {
@@ -143,14 +134,14 @@ func RunTemporalTrialsCtx(ctx context.Context, mk SchemeFactory, bits, trials in
 				flipped++
 			}
 		}
-		switch camp.Probe() {
-		case Corrected:
-			out.Corrected++
-		case DUE:
-			out.DUE++
-		case SDC:
-			out.SDC++
-		}
+		return camp.Probe(), nil
+	})
+	if err != nil {
+		return Counts{}, err
+	}
+	var out Counts
+	for _, o := range res {
+		out.note(o)
 	}
 	return out, nil
 }

@@ -1,0 +1,38 @@
+// Package par carries the cross-layer intra-cell parallelism hint: how
+// many goroutines a single unit of work (a sweep cell, a fault
+// campaign) may fan its internal independent pieces across.
+//
+// The hint rides on the context rather than on budgets or cell
+// parameters because it is a wall-clock knob, never part of a result's
+// identity: cell results — and therefore the content-addressed cell
+// cache keys derived from the parameters — are bit-identical whatever
+// the hint says. The daemon's scheduler sizes it from transient facts
+// like idle pool workers; the standalone drivers size it from
+// -parallel flags.
+//
+// It lives in its own leaf package so both consumers of the hint — the
+// timed cluster (via internal/experiments) and the fault campaigns
+// (internal/fault) — can read the same key without an import cycle.
+package par
+
+import "context"
+
+type workersKey struct{}
+
+// WithWorkers returns a context carrying a parallelism hint of n
+// goroutines. n < 2 carries nothing (serial).
+func WithWorkers(ctx context.Context, n int) context.Context {
+	if n < 2 {
+		return ctx
+	}
+	return context.WithValue(ctx, workersKey{}, n)
+}
+
+// Workers returns the parallelism hint carried by ctx, or 1 when the
+// context carries none.
+func Workers(ctx context.Context) int {
+	if n, ok := ctx.Value(workersKey{}).(int); ok && n > 1 {
+		return n
+	}
+	return 1
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cppc/internal/cellstore"
+	"cppc/internal/fault"
 )
 
 // Metrics is the GET /metrics payload: queue pressure, worker
@@ -35,6 +36,14 @@ type Metrics struct {
 	CellsRunning   int `json:"cells_running"`
 	CellsCompleted int `json:"cells_completed"`
 	CellsExecuted  int `json:"cells_executed"`
+
+	// Trial-executor gauges: campaign fan-out inside montecarlo/fieldmc
+	// cells (and any standalone campaign in this process), observable
+	// next to the cells_* family. TrialsExecuted counts completed
+	// campaign trials since startup; TrialWorkers is the currently
+	// active executor workers (a sequential campaign counts one).
+	TrialsExecuted int64 `json:"trials_executed"`
+	TrialWorkers   int64 `json:"trial_workers"`
 
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
@@ -94,6 +103,8 @@ func (s *Service) Metrics() Metrics {
 		CellsRunning:     s.busy,
 		CellsCompleted:   s.cellsCompleted,
 		CellsExecuted:    s.cellsExecuted,
+		TrialsExecuted:   fault.TrialsExecuted(),
+		TrialWorkers:     fault.TrialWorkers(),
 		CacheHits:        hits,
 		CacheMisses:      misses,
 		CacheEntries:     entries,
